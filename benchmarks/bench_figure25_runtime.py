@@ -1,0 +1,24 @@
+"""Figure 25: runtime overhead of merged programs.
+
+Paper result: merging costs about 2 % (FMSA) to 4 % (SalSSA) of run time on
+average, because merged functions execute extra fid dispatch.  The
+reproduction uses the reference interpreter's dynamic instruction counts on
+each program's generated ``main`` as the runtime proxy.
+"""
+
+from repro.harness import figure25_runtime_overhead
+from repro.harness.reporting import format_figure25
+
+from conftest import SPEC_SUBSET, run_once
+
+
+def test_figure25_runtime_overhead(benchmark):
+    result = run_once(benchmark, figure25_runtime_overhead, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_figure25(result))
+    for technique in ("fmsa", "salssa"):
+        benchmark.extra_info[f"{technique}_normalized_runtime"] = \
+            round(result.geomean(technique), 3)
+    # Merged code may run a little slower, never dramatically so.
+    assert 0.95 <= result.geomean("salssa") < 1.5
+    assert 0.95 <= result.geomean("fmsa") < 1.5

@@ -1,0 +1,19 @@
+"""Figure 5: function-size growth caused by register demotion (SPEC 2006-like).
+
+Paper result: register demotion grows functions by ~75 % on average (1.73x
+geometric mean), often 2x or more.  The synthetic suite reproduces growth of
+the same order because the generated functions are phi- and branch-heavy.
+"""
+
+from repro.harness import figure5_reg2mem_growth
+from repro.harness.reporting import format_figure5
+
+from conftest import SPEC_SUBSET, run_once
+
+
+def test_figure5_reg2mem_growth(benchmark):
+    result = run_once(benchmark, figure5_reg2mem_growth, benchmarks=SPEC_SUBSET)
+    print()
+    print(format_figure5(result))
+    assert result.geomean_growth > 1.3
+    benchmark.extra_info["geomean_growth"] = round(result.geomean_growth, 3)

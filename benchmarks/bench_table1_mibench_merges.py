@@ -1,0 +1,25 @@
+"""Table 1: MiBench function populations and merge counts (FMSA vs SalSSA, t=1).
+
+Paper result: tiny programs (qsort, CRC32, dijkstra, ...) have zero merges for
+both techniques; larger programs merge, and SalSSA commits more merge
+operations than FMSA overall.
+"""
+
+from repro.harness import table1_mibench_merges
+from repro.harness.reporting import format_table1
+
+from conftest import MIBENCH_SUBSET, run_once
+
+
+def test_table1_mibench_merge_operations(benchmark):
+    result = run_once(benchmark, table1_mibench_merges, benchmarks=MIBENCH_SUBSET)
+    print()
+    print(format_table1(result))
+    benchmark.extra_info["total_fmsa_merges"] = result.total_fmsa
+    benchmark.extra_info["total_salssa_merges"] = result.total_salssa
+    by_name = {row.benchmark: row for row in result.rows}
+    for tiny in ("CRC32", "qsort", "dijkstra"):
+        if tiny in by_name:
+            assert by_name[tiny].fmsa_merges == 0
+            assert by_name[tiny].salssa_merges == 0
+    assert result.total_salssa >= result.total_fmsa

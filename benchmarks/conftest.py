@@ -1,0 +1,37 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and prints the corresponding rows.  The experiments are deterministic
+but not cheap, so each one is executed exactly once per benchmark run
+(``pedantic`` with one round) — the interesting output is the printed
+table/series and the recorded wall-clock time, not statistical timing noise.
+
+Set ``REPRO_FULL=1`` in the environment to evaluate the full benchmark lists
+and all exploration thresholds (slower; see EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+#: Benchmarks evaluated by default (None = the full paper list when REPRO_FULL=1).
+SPEC_SUBSET = None if FULL else (
+    "401.bzip2", "429.mcf", "444.namd", "447.dealII", "456.hmmer",
+    "462.libquantum", "470.lbm", "482.sphinx3",
+)
+SPEC2017_SUBSET = None if FULL else (
+    "508.namd_r", "510.parest_r", "619.lbm_s", "641.leela_s", "657.xz_s",
+)
+MIBENCH_SUBSET = None if FULL else (
+    "CRC32", "adpcm_c", "bitcount", "cjpeg", "dijkstra", "djpeg", "gsm",
+    "qsort", "sha", "stringsearch", "susan", "typeset",
+)
+THRESHOLDS = (1, 5, 10) if FULL else (1,)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

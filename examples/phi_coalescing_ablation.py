@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Phi-node coalescing in action (paper §4.4 and Figure 20).
+
+This example constructs a pair of functions whose merge requires operand
+selection between values defined on fid-exclusive paths — the exact situation
+of the paper's Figure 14 — and shows how SalSSA's phi-node coalescing
+replaces two repair phi-nodes plus a select with a single phi-node.
+
+Run with:  python examples/phi_coalescing_ablation.py
+"""
+
+from repro.ir import parse_module, print_function
+from repro.ir.instructions import PhiInst, SelectInst
+from repro.merge import SalSSAMerger, SalSSAOptions
+
+PAIR = """
+declare i32 @use(i32)
+
+define i32 @left(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 4
+  br i1 %c, label %work, label %skip
+work:
+  %v = mul i32 %x, 3
+  br label %join
+skip:
+  br label %join
+join:
+  %p = phi i32 [ %v, %work ], [ 0, %skip ]
+  %r = call i32 @use(i32 %p)
+  ret i32 %r
+}
+
+define i32 @right(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 9
+  br i1 %c, label %work, label %skip
+work:
+  %w = add i32 %x, 40
+  br label %join
+skip:
+  br label %join
+join:
+  %p = phi i32 [ %w, %work ], [ 0, %skip ]
+  %r = call i32 @use(i32 %p)
+  ret i32 %r
+}
+"""
+
+
+def count(function, kind):
+    return sum(1 for inst in function.instructions() if isinstance(inst, kind))
+
+
+def merge(enable_coalescing: bool):
+    module = parse_module(PAIR)
+    options = SalSSAOptions(phi_coalescing=enable_coalescing)
+    merged = SalSSAMerger(module, options).merge(module.get_function("left"),
+                                                 module.get_function("right"))
+    return merged
+
+
+def main() -> None:
+    without = merge(enable_coalescing=False)
+    with_pc = merge(enable_coalescing=True)
+
+    print("=== SalSSA without phi-node coalescing (SalSSA-NoPC) ===")
+    print(print_function(without.function))
+    print(f"\ninstructions: {without.function.num_instructions()}, "
+          f"phi-nodes: {count(without.function, PhiInst)}, "
+          f"selects: {count(without.function, SelectInst)}")
+
+    print("\n=== SalSSA with phi-node coalescing ===")
+    print(print_function(with_pc.function))
+    print(f"\ninstructions: {with_pc.function.num_instructions()}, "
+          f"phi-nodes: {count(with_pc.function, PhiInst)}, "
+          f"selects: {count(with_pc.function, SelectInst)}, "
+          f"coalesced pairs: {with_pc.stats.coalesced_pairs}")
+
+    saved = without.function.num_instructions() - with_pc.function.num_instructions()
+    print(f"\nphi-node coalescing saved {saved} instruction(s) on this pair "
+          f"(the paper reports an average 1.2% extra code-size reduction, "
+          f"up to 7% on 444.namd).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Minimal setup shim so `python setup.py develop` works in offline
+environments where pip cannot build an editable wheel (no `wheel` package).
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

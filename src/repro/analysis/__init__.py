@@ -1,0 +1,27 @@
+"""Analyses over the repro IR: CFG utilities, dominators, liveness,
+function fingerprints and code-size models."""
+
+from .cfg import (
+    edges,
+    is_critical_edge,
+    postorder,
+    predecessor_map,
+    predecessors,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from .dominators import DominatorTree
+from .liveness import LivenessInfo, compute_liveness, user_blocks
+from .fingerprint import CandidateRanking, Fingerprint, RankedCandidate
+from .size_model import (
+    ARM_THUMB,
+    SizeModel,
+    TARGETS,
+    X86_64,
+    get_target,
+    instruction_count,
+    module_instruction_count,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,93 @@
+"""Live-variable analysis over the SSA IR.
+
+Phi-node coalescing (paper §4.4) pairs disjoint definitions so as to maximise
+the overlap of their live ranges/user blocks, keeping register pressure low.
+This module provides the backward dataflow analysis used for that heuristic
+and for the register-pressure statistics reported by the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.values import Value
+from .cfg import predecessor_map, postorder
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in / live-out sets of instruction-defined values."""
+
+    live_in: Dict[BasicBlock, Set[Instruction]] = field(default_factory=dict)
+    live_out: Dict[BasicBlock, Set[Instruction]] = field(default_factory=dict)
+
+    def live_across(self, value: Instruction) -> int:
+        """Number of blocks whose live-out set contains ``value``."""
+        return sum(1 for values in self.live_out.values() if value in values)
+
+    def max_pressure(self) -> int:
+        """Upper bound on simultaneous live values (block-granular)."""
+        if not self.live_in:
+            return 0
+        return max(len(values) for values in self.live_in.values())
+
+
+def compute_liveness(function: Function) -> LivenessInfo:
+    """Compute live-in/live-out sets for all blocks of ``function``.
+
+    Only instruction results are tracked (arguments and constants are always
+    available and do not contribute to the coalescing heuristic).
+    """
+    use: Dict[BasicBlock, Set[Instruction]] = {}
+    defs: Dict[BasicBlock, Set[Instruction]] = {}
+    phi_uses: Dict[BasicBlock, Set[Instruction]] = {block: set() for block in function.blocks}
+
+    for block in function.blocks:
+        block_use: Set[Instruction] = set()
+        block_def: Set[Instruction] = set()
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst):
+                # Phi operands are live at the end of the incoming block, not here.
+                for value, incoming_block in inst.incoming():
+                    if isinstance(value, Instruction) and isinstance(incoming_block, BasicBlock):
+                        phi_uses.setdefault(incoming_block, set()).add(value)
+                block_def.add(inst)
+                continue
+            for operand in inst.operand_values():
+                if isinstance(operand, Instruction) and operand not in block_def:
+                    block_use.add(operand)
+            if inst.produces_value():
+                block_def.add(inst)
+        use[block] = block_use
+        defs[block] = block_def
+
+    live_in: Dict[BasicBlock, Set[Instruction]] = {b: set() for b in function.blocks}
+    live_out: Dict[BasicBlock, Set[Instruction]] = {b: set() for b in function.blocks}
+
+    changed = True
+    order = postorder(function)
+    while changed:
+        changed = False
+        for block in order:
+            out: Set[Instruction] = set(phi_uses.get(block, ()))
+            for successor in block.successors():
+                out |= live_in.get(successor, set())
+            new_in = use[block] | (out - defs[block])
+            if out != live_out[block] or new_in != live_in[block]:
+                live_out[block] = out
+                live_in[block] = new_in
+                changed = True
+    return LivenessInfo(live_in, live_out)
+
+
+def user_blocks(value: Value) -> Set[BasicBlock]:
+    """The set of blocks containing users of ``value`` (paper's ``UB(d)``)."""
+    blocks: Set[BasicBlock] = set()
+    for user in value.users():
+        if isinstance(user, Instruction) and user.parent is not None:
+            blocks.add(user.parent)
+    return blocks

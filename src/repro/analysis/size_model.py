@@ -1,0 +1,112 @@
+"""Code-size models.
+
+The paper measures the size of the final linked object file.  Without a real
+back end we estimate object-code size with a deterministic per-instruction
+byte-cost model.  Two targets are provided, mirroring the paper's evaluation
+platforms: an x86-64-like target (SPEC experiments) and a Thumb-like target
+(MiBench experiments) whose compact 16/32-bit encodings make every IR
+instruction cheaper but calls and branches relatively more expensive.
+
+The same model doubles as the *profitability cost model* input used by both
+FMSA and SalSSA (paper §5.3 notes they share one cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.module import Module
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """A per-opcode byte-cost model approximating final object size."""
+
+    name: str
+    default_cost: int
+    costs: Dict[str, int]
+    function_overhead: int
+
+    def instruction_cost(self, inst: Instruction) -> int:
+        """Estimated encoded size of one instruction, in bytes."""
+        if isinstance(inst, PhiInst):
+            # Phi-nodes lower to copies on predecessor edges; approximate with
+            # one move per incoming edge beyond the first.
+            per_edge = self.costs.get("phi", 2)
+            return per_edge * max(1, inst.num_incoming() - 1)
+        return self.costs.get(inst.opcode, self.default_cost)
+
+    def function_size(self, function: Function) -> int:
+        """Estimated object-code bytes contributed by a function."""
+        if function.is_declaration():
+            return 0
+        total = self.function_overhead
+        for inst in function.instructions():
+            total += self.instruction_cost(inst)
+        return total
+
+    def module_size(self, module: Module) -> int:
+        """Estimated object-code bytes of all defined functions in a module."""
+        return sum(self.function_size(f) for f in module.defined_functions())
+
+
+#: x86-64-flavoured byte costs (variable-length encoding, rich addressing).
+X86_64 = SizeModel(
+    name="x86_64",
+    default_cost=4,
+    costs={
+        "add": 3, "sub": 3, "mul": 4, "sdiv": 6, "udiv": 6, "srem": 6, "urem": 6,
+        "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 5, "frem": 8,
+        "and": 3, "or": 3, "xor": 3, "shl": 3, "lshr": 3, "ashr": 3,
+        "icmp": 3, "fcmp": 4, "select": 6,
+        "trunc": 2, "zext": 3, "sext": 3, "bitcast": 0, "ptrtoint": 2, "inttoptr": 2,
+        "fptrunc": 4, "fpext": 4, "fptosi": 4, "fptoui": 4, "sitofp": 4, "uitofp": 4,
+        "alloca": 4, "load": 4, "store": 4, "getelementptr": 4,
+        "call": 5, "invoke": 9, "landingpad": 8,
+        "br": 2, "switch": 8, "ret": 2, "unreachable": 1,
+        "phi": 3,
+    },
+    function_overhead=12,
+)
+
+#: ARM-Thumb-flavoured byte costs (mostly 2-byte encodings, pricier calls).
+ARM_THUMB = SizeModel(
+    name="arm_thumb",
+    default_cost=2,
+    costs={
+        "add": 2, "sub": 2, "mul": 2, "sdiv": 4, "udiv": 4, "srem": 6, "urem": 6,
+        "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 4, "frem": 8,
+        "and": 2, "or": 2, "xor": 2, "shl": 2, "lshr": 2, "ashr": 2,
+        "icmp": 2, "fcmp": 4, "select": 4,
+        "trunc": 2, "zext": 2, "sext": 2, "bitcast": 0, "ptrtoint": 2, "inttoptr": 2,
+        "fptrunc": 4, "fpext": 4, "fptosi": 4, "fptoui": 4, "sitofp": 4, "uitofp": 4,
+        "alloca": 2, "load": 2, "store": 2, "getelementptr": 4,
+        "call": 4, "invoke": 8, "landingpad": 8,
+        "br": 2, "switch": 6, "ret": 2, "unreachable": 2,
+        "phi": 2,
+    },
+    function_overhead=8,
+)
+
+TARGETS: Dict[str, SizeModel] = {"x86_64": X86_64, "arm_thumb": ARM_THUMB}
+
+
+def get_target(name: str) -> SizeModel:
+    """Look up a size model by target name (``x86_64`` or ``arm_thumb``)."""
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise KeyError(f"unknown target {name!r}; known: {sorted(TARGETS)}") from None
+
+
+def instruction_count(function: Function) -> int:
+    """Number of IR instructions in a function (the paper's Figure 5 metric)."""
+    return function.num_instructions()
+
+
+def module_instruction_count(module: Module) -> int:
+    """Number of IR instructions over all defined functions of a module."""
+    return module.num_instructions()

@@ -1,0 +1,125 @@
+"""The compilation pipeline used by every experiment.
+
+It mirrors the paper's Figure 16: the per-benchmark module (our stand-in for
+the LTO-linked IR of the program) goes through a clean-up pass (the ``opt``
+stage), then optionally through function merging (FMSA or SalSSA), and the
+final "object size" is computed with a target size model.  Baseline = the same
+pipeline without function merging.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..ir.module import Module
+from ..ir.printer import print_module
+from ..ir.verifier import verify_module
+from ..merge.pass_manager import FunctionMergingPass, MergePassOptions, MergeReport
+from ..merge.salssa import SalSSAOptions
+from ..transforms.mem2reg import promote_module
+from ..transforms.simplify import simplify_module
+from .metrics import measure_peak_memory
+
+
+@dataclass
+class PipelineResult:
+    """Everything measured for one (benchmark, technique, threshold) run."""
+
+    benchmark: str
+    technique: str
+    threshold: int
+    baseline_size: int
+    final_size: int
+    baseline_instructions: int
+    final_instructions: int
+    baseline_compile_seconds: float
+    merge_seconds: float
+    report: Optional[MergeReport] = None
+    peak_merge_bytes: int = 0
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.baseline_size == 0:
+            return 0.0
+        return 100.0 * (self.baseline_size - self.final_size) / self.baseline_size
+
+    @property
+    def normalized_compile_time(self) -> float:
+        """End-to-end compile time normalised to the no-merging baseline."""
+        if self.baseline_compile_seconds <= 0:
+            return 1.0
+        return (self.baseline_compile_seconds + self.merge_seconds) / \
+            self.baseline_compile_seconds
+
+
+def baseline_compile(module: Module) -> float:
+    """The "rest of the compiler" proxy: clean-up, verification and emission.
+
+    Returns the time spent, which the compile-time experiment (Figure 24) uses
+    as the denominator when normalising the merging overhead.
+    """
+    started = time.perf_counter()
+    promote_module(module)  # mem2reg runs early in any -O pipeline
+    simplify_module(module)
+    verify_module(module, raise_on_error=False)
+    print_module(module)  # stands in for instruction selection / emission
+    return time.perf_counter() - started
+
+
+def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
+                      phi_coalescing: bool = True) -> MergePassOptions:
+    """Build pass options for one experimental configuration."""
+    return MergePassOptions(
+        technique=technique,
+        exploration_threshold=threshold,
+        size_model=size_model,
+        salssa=SalSSAOptions(phi_coalescing=phi_coalescing),
+    )
+
+
+def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
+                 threshold: int = 1, target: str = "x86_64",
+                 phi_coalescing: bool = True,
+                 measure_memory: bool = False) -> PipelineResult:
+    """Run the full pipeline on ``module`` (which is consumed/mutated).
+
+    ``technique`` may be ``"salssa"``, ``"fmsa"`` or ``"none"`` (baseline only).
+    """
+    size_model = get_target(target)
+    baseline_seconds = baseline_compile(module)
+    baseline_size = size_model.module_size(module)
+    baseline_instructions = module.num_instructions()
+
+    if technique == "none":
+        return PipelineResult(benchmark, technique, threshold, baseline_size,
+                              baseline_size, baseline_instructions,
+                              baseline_instructions, baseline_seconds, 0.0)
+
+    options = make_pass_options(technique, threshold, size_model, phi_coalescing)
+    merging_pass = FunctionMergingPass(options)
+
+    peak_bytes = 0
+    started = time.perf_counter()
+    if measure_memory:
+        report, peak_bytes = measure_peak_memory(merging_pass.run, module)
+    else:
+        report = merging_pass.run(module)
+    merge_seconds = time.perf_counter() - started
+
+    final_size = size_model.module_size(module)
+    return PipelineResult(
+        benchmark=benchmark,
+        technique=technique,
+        threshold=threshold,
+        baseline_size=baseline_size,
+        final_size=final_size,
+        baseline_instructions=baseline_instructions,
+        final_instructions=module.num_instructions(),
+        baseline_compile_seconds=baseline_seconds,
+        merge_seconds=merge_seconds,
+        report=report,
+        peak_merge_bytes=peak_bytes,
+    )

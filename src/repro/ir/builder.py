@@ -1,0 +1,189 @@
+"""A convenience builder for constructing IR programmatically.
+
+The builder keeps an insertion point (a basic block, and optionally a position
+inside it) and exposes one method per instruction kind.  It is used throughout
+the test-suite, the examples and the synthetic workload generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    GEPInst,
+    Instruction,
+    InvokeInst,
+    LandingPadInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .types import FloatType, IntType, Type, I1
+from .values import Constant, UndefValue, Value
+
+
+class IRBuilder:
+    """Builds instructions at an insertion point, naming values automatically."""
+
+    def __init__(self, block: Optional[BasicBlock] = None) -> None:
+        self.block = block
+        self._insert_index: Optional[int] = None  # None = append at the end
+
+    # ------------------------------------------------------------ position
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+        self._insert_index = None
+
+    def position_before(self, instruction: Instruction) -> None:
+        self.block = instruction.parent
+        self._insert_index = self.block.instructions.index(instruction)
+
+    @property
+    def function(self) -> Optional[Function]:
+        return self.block.parent if self.block is not None else None
+
+    # ------------------------------------------------------------ plumbing
+    def insert(self, instruction: Instruction, name: str = "") -> Instruction:
+        """Insert an already-constructed instruction at the insertion point."""
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        if name:
+            instruction.name = name
+        elif instruction.produces_value() and not instruction.name:
+            function = self.function
+            if function is not None:
+                instruction.name = function.unique_name("t")
+        if self._insert_index is None:
+            self.block.append(instruction)
+        else:
+            self.block.insert(self._insert_index, instruction)
+            self._insert_index += 1
+        return instruction
+
+    # ----------------------------------------------------------- constants
+    def const_int(self, type_: IntType, value: int) -> Constant:
+        return Constant(type_, value)
+
+    def const_float(self, type_: FloatType, value: float) -> Constant:
+        return Constant(type_, value)
+
+    def const_bool(self, value: bool) -> Constant:
+        return Constant(I1, 1 if value else 0)
+
+    def undef(self, type_: Type) -> UndefValue:
+        return UndefValue(type_)
+
+    # ---------------------------------------------------------- arithmetic
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.insert(BinaryInst(opcode, lhs, rhs), name)
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("sdiv", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> BinaryInst:
+        return self.binary("shl", lhs, rhs, name)
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> CmpInst:
+        return self.insert(CmpInst(predicate, lhs, rhs), name)
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> CmpInst:
+        return self.insert(CmpInst(predicate, lhs, rhs), name)
+
+    def cast(self, opcode: str, value: Value, dest_type: Type, name: str = "") -> CastInst:
+        return self.insert(CastInst(opcode, value, dest_type), name)
+
+    def select(self, condition: Value, if_true: Value, if_false: Value, name: str = "") -> SelectInst:
+        return self.insert(SelectInst(condition, if_true, if_false), name)
+
+    # -------------------------------------------------------------- memory
+    def alloca(self, allocated_type: Type, name: str = "") -> AllocaInst:
+        return self.insert(AllocaInst(allocated_type), name)
+
+    def load(self, pointer: Value, name: str = "") -> LoadInst:
+        return self.insert(LoadInst(pointer), name)
+
+    def store(self, value: Value, pointer: Value) -> StoreInst:
+        return self.insert(StoreInst(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> GEPInst:
+        return self.insert(GEPInst(pointer, indices), name)
+
+    # --------------------------------------------------------------- calls
+    def call(self, callee: Value, args: Sequence[Value], name: str = "") -> CallInst:
+        return self.insert(CallInst(callee, args), name)
+
+    def invoke(self, callee: Value, args: Sequence[Value], normal_dest: BasicBlock,
+               unwind_dest: BasicBlock, name: str = "") -> InvokeInst:
+        return self.insert(InvokeInst(callee, args, normal_dest, unwind_dest), name)
+
+    def landingpad(self, type_: Type, cleanup: bool = True, name: str = "") -> LandingPadInst:
+        return self.insert(LandingPadInst(type_, cleanup), name)
+
+    # ------------------------------------------------------- control flow
+    def br(self, target: BasicBlock) -> BranchInst:
+        return self.insert(BranchInst(target))
+
+    def cond_br(self, condition: Value, if_true: BasicBlock, if_false: BasicBlock) -> BranchInst:
+        return self.insert(BranchInst(condition, if_true, if_false))
+
+    def switch(self, condition: Value, default: BasicBlock,
+               cases: Sequence[Tuple[Constant, BasicBlock]] = ()) -> SwitchInst:
+        return self.insert(SwitchInst(condition, default, cases))
+
+    def ret(self, value: Optional[Value] = None) -> ReturnInst:
+        return self.insert(ReturnInst(value))
+
+    def ret_void(self) -> ReturnInst:
+        return self.insert(ReturnInst(None))
+
+    def unreachable(self) -> UnreachableInst:
+        return self.insert(UnreachableInst())
+
+    # ----------------------------------------------------------------- phi
+    def phi(self, type_: Type, incomings: Sequence[Tuple[Value, BasicBlock]] = (),
+            name: str = "") -> PhiInst:
+        """Insert a phi-node at the top of the current block."""
+        if self.block is None:
+            raise RuntimeError("builder has no insertion block")
+        phi = PhiInst(type_, incomings)
+        if name:
+            phi.name = name
+        else:
+            function = self.function
+            if function is not None:
+                phi.name = function.unique_name("p")
+        index = self.block.first_non_phi_index()
+        self.block.insert(index, phi)
+        if self._insert_index is not None and index <= self._insert_index:
+            self._insert_index += 1
+        return phi

@@ -1,0 +1,139 @@
+"""Functions for the repro SSA IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .basic_block import BasicBlock
+from .instructions import Instruction, PhiInst
+from .types import FunctionType, PointerType, Type
+from .values import Argument, GlobalValue
+
+
+class Function(GlobalValue):
+    """A function: a signature plus an ordered list of basic blocks.
+
+    A function with no blocks is a *declaration* (an external function such as
+    the ``start``/``body``/``end`` callees in the paper's motivating example).
+    """
+
+    def __init__(self, function_type: FunctionType, name: str,
+                 arg_names: Optional[List[str]] = None) -> None:
+        super().__init__(PointerType(function_type), name)
+        self.function_type = function_type
+        self.blocks: List[BasicBlock] = []
+        self.args: List[Argument] = []
+        self._next_value_id = 0
+        for index, param_type in enumerate(function_type.param_types):
+            arg_name = arg_names[index] if arg_names and index < len(arg_names) else f"arg{index}"
+            self.args.append(Argument(param_type, arg_name, parent=self, index=index))
+
+    # ----------------------------------------------------------- signature
+    @property
+    def return_type(self) -> Type:
+        return self.function_type.return_type
+
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    # ------------------------------------------------------------- blocks
+    @property
+    def entry_block(self) -> Optional[BasicBlock]:
+        return self.blocks[0] if self.blocks else None
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def add_block(self, block_or_name, before: Optional[BasicBlock] = None) -> BasicBlock:
+        """Append a block (or create one from a name), optionally before another."""
+        if isinstance(block_or_name, BasicBlock):
+            block = block_or_name
+        else:
+            block = BasicBlock(str(block_or_name))
+        block.parent = self
+        if not block.name:
+            block.name = self.unique_name("bb")
+        if before is not None:
+            self.blocks.insert(self.blocks.index(before), block)
+        else:
+            self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    def move_block_after(self, block: BasicBlock, after: BasicBlock) -> None:
+        self.blocks.remove(block)
+        self.blocks.insert(self.blocks.index(after) + 1, block)
+
+    # -------------------------------------------------------- instructions
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def phis(self) -> List[PhiInst]:
+        return [inst for inst in self.instructions() if isinstance(inst, PhiInst)]
+
+    # ------------------------------------------------------------- naming
+    def unique_name(self, prefix: str = "v") -> str:
+        """Return a fresh value/block name, unique within this function."""
+        existing = {block.name for block in self.blocks}
+        existing.update(arg.name for arg in self.args)
+        for inst in self.instructions():
+            if inst.name:
+                existing.add(inst.name)
+        while True:
+            candidate = f"{prefix}{self._next_value_id}"
+            self._next_value_id += 1
+            if candidate not in existing:
+                return candidate
+
+    def assign_names(self) -> None:
+        """Give every unnamed block and value-producing instruction a name."""
+        taken = {arg.name for arg in self.args}
+        taken.update(block.name for block in self.blocks if block.name)
+        counter = 0
+
+        def fresh(prefix: str) -> str:
+            nonlocal counter
+            while True:
+                candidate = f"{prefix}{counter}"
+                counter += 1
+                if candidate not in taken:
+                    taken.add(candidate)
+                    return candidate
+
+        for block in self.blocks:
+            if not block.name:
+                block.name = fresh("bb")
+            for inst in block.instructions:
+                if inst.produces_value() and not inst.name:
+                    inst.name = fresh("t")
+
+    # ----------------------------------------------------------- utilities
+    def block_by_name(self, name: str) -> Optional[BasicBlock]:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        return None
+
+    def value_by_name(self, name: str):
+        for arg in self.args:
+            if arg.name == name:
+                return arg
+        for inst in self.instructions():
+            if inst.name == name:
+                return inst
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "declare" if self.is_declaration() else "define"
+        return f"<Function {kind} @{self.name} ({len(self.blocks)} blocks)>"

@@ -1,0 +1,447 @@
+"""A reference interpreter for the repro SSA IR.
+
+The interpreter plays the role LLVM's execution and the SPEC reference inputs
+play in the paper: it lets the test-suite and the runtime-overhead experiment
+(Figure 25) check that a merged function is *semantically equivalent* to the
+originals and measure dynamic instruction counts.
+
+Semantic equivalence is checked on three observables:
+
+* the returned value,
+* the ordered trace of calls to external (declared) functions together with
+  their arguments — i.e. the side effects a real program would perform,
+* normal versus exceptional termination.
+
+External functions are modelled as deterministic pure functions of their name
+and arguments unless the caller registers explicit Python callables, so the
+original and the merged function see identical behaviour from their callees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    GEPInst,
+    Instruction,
+    InvokeInst,
+    LandingPadInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import Module
+from .types import FloatType, IntType, PointerType, Type
+from .values import Argument, Constant, GlobalValue, GlobalVariable, UndefValue, Value
+
+
+class InterpreterError(Exception):
+    """Raised when the interpreter encounters invalid or unsupported IR."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """Raised when execution exceeds the configured step budget."""
+
+
+class GuestException(Exception):
+    """An exception raised *inside* the interpreted program (for invoke/landingpad)."""
+
+    def __init__(self, payload=None) -> None:
+        super().__init__("guest exception")
+        self.payload = payload
+
+
+@dataclass
+class Pointer:
+    """A pointer into interpreter memory: an allocation id plus an element offset."""
+
+    allocation: int
+    offset: int = 0
+
+    def displaced(self, delta: int) -> "Pointer":
+        return Pointer(self.allocation, self.offset + delta)
+
+    def __hash__(self) -> int:
+        return hash((self.allocation, self.offset))
+
+
+@dataclass
+class ExecutionResult:
+    """The observable outcome of running a function."""
+
+    value: object
+    steps: int
+    call_trace: List[Tuple[str, Tuple[object, ...]]] = field(default_factory=list)
+    raised: bool = False
+
+    def observable(self) -> Tuple[object, Tuple[Tuple[str, Tuple[object, ...]], ...], bool]:
+        """A hashable summary used by equivalence tests."""
+        return (self.value, tuple(self.call_trace), self.raised)
+
+
+class Interpreter:
+    """Executes functions of a :class:`~repro.ir.module.Module`."""
+
+    def __init__(self, module: Module,
+                 externals: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 200_000) -> None:
+        self.module = module
+        self.externals = dict(externals or {})
+        self.max_steps = max_steps
+        self._memory: Dict[int, List[object]] = {}
+        self._next_allocation = 1
+        self._globals: Dict[GlobalVariable, Pointer] = {}
+        self._call_trace: List[Tuple[str, Tuple[object, ...]]] = []
+        self._steps = 0
+
+    # ------------------------------------------------------------ interface
+    def run(self, function_or_name, args: Tuple = ()) -> ExecutionResult:
+        """Run a function with concrete arguments and capture its observables."""
+        function = self._resolve_function(function_or_name)
+        self._call_trace = []
+        self._steps = 0
+        raised = False
+        try:
+            value = self._call_function(function, tuple(args))
+        except GuestException:
+            value = None
+            raised = True
+        return ExecutionResult(value, self._steps, list(self._call_trace), raised)
+
+    # ------------------------------------------------------------ internals
+    def _resolve_function(self, function_or_name) -> Function:
+        if isinstance(function_or_name, Function):
+            return function_or_name
+        function = self.module.get_function(str(function_or_name))
+        if function is None:
+            raise InterpreterError(f"unknown function @{function_or_name}")
+        return function
+
+    def _allocate(self, size: int = 1, init=None) -> Pointer:
+        allocation = self._next_allocation
+        self._next_allocation += 1
+        self._memory[allocation] = [init] * max(1, size)
+        return Pointer(allocation)
+
+    def _global_pointer(self, variable: GlobalVariable) -> Pointer:
+        pointer = self._globals.get(variable)
+        if pointer is None:
+            init = variable.initializer.value if variable.initializer is not None else 0
+            pointer = self._allocate(1, init)
+            self._globals[variable] = pointer
+        return pointer
+
+    def _call_function(self, function: Function, args: Tuple) -> object:
+        if function.is_declaration():
+            return self._call_external(function.name, args, function.return_type)
+        if len(args) != len(function.args):
+            raise InterpreterError(
+                f"@{function.name} expects {len(function.args)} args, got {len(args)}")
+        frame: Dict[Value, object] = dict(zip(function.args, args))
+        block = function.entry_block
+        previous_block: Optional[BasicBlock] = None
+        if block is None:
+            raise InterpreterError(f"@{function.name} has no entry block")
+
+        while True:
+            next_block, result, finished = self._run_block(function, block, previous_block, frame)
+            if finished:
+                return result
+            previous_block, block = block, next_block
+
+    def _call_external(self, name: str, args: Tuple, return_type: Type) -> object:
+        self._call_trace.append((name, tuple(args)))
+        handler = self.externals.get(name)
+        if handler is not None:
+            return handler(*args)
+        return default_external(name, args, return_type)
+
+    # -------------------------------------------------------------- blocks
+    def _run_block(self, function: Function, block: BasicBlock,
+                   previous_block: Optional[BasicBlock],
+                   frame: Dict[Value, object]):
+        # Phi-nodes are evaluated in parallel against the *incoming* edge.
+        phi_updates: Dict[Value, object] = {}
+        for phi in block.phis():
+            self._tick()
+            incoming = phi.incoming_value_for_block(previous_block)
+            if incoming is None:
+                raise InterpreterError(
+                    f"phi %{phi.name} in @{function.name} has no incoming value for "
+                    f"%{previous_block.name if previous_block else '<entry>'}")
+            phi_updates[phi] = self._evaluate(incoming, frame)
+        frame.update(phi_updates)
+
+        for inst in block.instructions[block.first_non_phi_index():]:
+            self._tick()
+            if isinstance(inst, ReturnInst):
+                return None, self._evaluate(inst.value, frame) if inst.value is not None else None, True
+            if isinstance(inst, BranchInst):
+                if inst.is_conditional:
+                    condition = self._as_int(self._evaluate(inst.condition, frame))
+                    target = inst.if_true if condition else inst.if_false
+                else:
+                    target = inst.if_true
+                return target, None, False
+            if isinstance(inst, SwitchInst):
+                condition = self._evaluate(inst.condition, frame)
+                target = inst.default
+                for case_value, case_block in inst.cases():
+                    if self._evaluate(case_value, frame) == condition:
+                        target = case_block
+                        break
+                return target, None, False
+            if isinstance(inst, UnreachableInst):
+                raise InterpreterError(f"executed 'unreachable' in @{function.name}")
+            if isinstance(inst, InvokeInst):
+                try:
+                    frame[inst] = self._execute_call(inst, frame)
+                except GuestException as exc:
+                    frame[_pending_exception_key(inst.unwind_dest)] = exc
+                    return inst.unwind_dest, None, False
+                return inst.normal_dest, None, False
+            self._execute(inst, frame)
+        raise InterpreterError(
+            f"block %{block.name} in @{function.name} fell through without a terminator")
+
+    # -------------------------------------------------------- instructions
+    def _execute(self, inst: Instruction, frame: Dict[Value, object]) -> None:
+        if isinstance(inst, BinaryInst):
+            frame[inst] = self._binary(inst, frame)
+        elif isinstance(inst, CmpInst):
+            frame[inst] = self._compare(inst, frame)
+        elif isinstance(inst, CastInst):
+            frame[inst] = self._cast(inst, frame)
+        elif isinstance(inst, SelectInst):
+            condition = self._as_int(self._evaluate(inst.condition, frame))
+            chosen = inst.if_true if condition else inst.if_false
+            frame[inst] = self._evaluate(chosen, frame)
+        elif isinstance(inst, AllocaInst):
+            frame[inst] = self._allocate()
+        elif isinstance(inst, LoadInst):
+            pointer = self._pointer_operand(inst.pointer, frame)
+            frame[inst] = self._memory[pointer.allocation][pointer.offset]
+        elif isinstance(inst, StoreInst):
+            pointer = self._pointer_operand(inst.pointer, frame)
+            cells = self._memory[pointer.allocation]
+            if pointer.offset >= len(cells):
+                cells.extend([0] * (pointer.offset - len(cells) + 1))
+            cells[pointer.offset] = self._evaluate(inst.value, frame)
+        elif isinstance(inst, GEPInst):
+            pointer = self._pointer_operand(inst.pointer, frame)
+            displacement = sum(self._as_int(self._evaluate(i, frame)) for i in inst.indices)
+            frame[inst] = pointer.displaced(displacement)
+        elif isinstance(inst, CallInst):
+            frame[inst] = self._execute_call(inst, frame)
+        elif isinstance(inst, LandingPadInst):
+            exception = frame.pop(_pending_exception_key(inst.parent), None)
+            frame[inst] = exception.payload if exception is not None else None
+        elif isinstance(inst, PhiInst):
+            raise InterpreterError("phi encountered outside block prologue")
+        else:
+            raise InterpreterError(f"unsupported instruction {inst.opcode}")
+
+    def _execute_call(self, inst, frame: Dict[Value, object]) -> object:
+        callee = inst.callee
+        args = tuple(self._evaluate(a, frame) for a in inst.args)
+        if isinstance(callee, Function):
+            return self._call_function(callee, args) if not callee.is_declaration() \
+                else self._call_external(callee.name, args, callee.return_type)
+        target = self._evaluate(callee, frame)
+        if isinstance(target, Function):
+            return self._call_function(target, args)
+        raise InterpreterError("indirect call target is not a function")
+
+    # ----------------------------------------------------------- operators
+    def _binary(self, inst: BinaryInst, frame: Dict[Value, object]) -> object:
+        lhs = self._evaluate(inst.lhs, frame)
+        rhs = self._evaluate(inst.rhs, frame)
+        opcode = inst.opcode
+        if opcode in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+            lhs, rhs = float(lhs), float(rhs)
+            if opcode == "fadd":
+                return lhs + rhs
+            if opcode == "fsub":
+                return lhs - rhs
+            if opcode == "fmul":
+                return lhs * rhs
+            if opcode == "fdiv":
+                return lhs / rhs if rhs != 0.0 else math.inf
+            return math.fmod(lhs, rhs) if rhs != 0.0 else math.nan
+
+        type_ = inst.type if isinstance(inst.type, IntType) else IntType(64)
+        a, b = self._as_int(lhs), self._as_int(rhs)
+        if opcode == "add":
+            result = a + b
+        elif opcode == "sub":
+            result = a - b
+        elif opcode == "mul":
+            result = a * b
+        elif opcode in ("sdiv", "udiv"):
+            if b == 0:
+                raise GuestException("division by zero")
+            if opcode == "udiv":
+                result = type_.to_unsigned(a) // type_.to_unsigned(b)
+            else:
+                result = int(a / b)  # C-style truncation toward zero
+        elif opcode in ("srem", "urem"):
+            if b == 0:
+                raise GuestException("division by zero")
+            if opcode == "urem":
+                result = type_.to_unsigned(a) % type_.to_unsigned(b)
+            else:
+                result = a - int(a / b) * b
+        elif opcode == "and":
+            result = type_.to_unsigned(a) & type_.to_unsigned(b)
+        elif opcode == "or":
+            result = type_.to_unsigned(a) | type_.to_unsigned(b)
+        elif opcode == "xor":
+            result = type_.to_unsigned(a) ^ type_.to_unsigned(b)
+        elif opcode == "shl":
+            result = a << (b % type_.bits)
+        elif opcode == "lshr":
+            result = type_.to_unsigned(a) >> (b % type_.bits)
+        elif opcode == "ashr":
+            result = a >> (b % type_.bits)
+        else:
+            raise InterpreterError(f"unsupported binary opcode {opcode}")
+        return type_.wrap(result)
+
+    def _compare(self, inst: CmpInst, frame: Dict[Value, object]) -> int:
+        lhs = self._evaluate(inst.lhs, frame)
+        rhs = self._evaluate(inst.rhs, frame)
+        predicate = inst.predicate
+        if inst.opcode == "fcmp":
+            lhs, rhs = float(lhs), float(rhs)
+            table = {
+                "oeq": lhs == rhs, "one": lhs != rhs, "olt": lhs < rhs,
+                "ole": lhs <= rhs, "ogt": lhs > rhs, "oge": lhs >= rhs,
+                "ord": not (math.isnan(lhs) or math.isnan(rhs)),
+                "uno": math.isnan(lhs) or math.isnan(rhs),
+            }
+            return 1 if table[predicate] else 0
+        operand_type = inst.lhs.type if isinstance(inst.lhs.type, IntType) else IntType(64)
+        if isinstance(lhs, Pointer) or isinstance(rhs, Pointer):
+            equal = lhs == rhs
+            table = {"eq": equal, "ne": not equal}
+            return 1 if table.get(predicate, False) else 0
+        a, b = self._as_int(lhs), self._as_int(rhs)
+        ua, ub = operand_type.to_unsigned(a), operand_type.to_unsigned(b)
+        table = {
+            "eq": a == b, "ne": a != b,
+            "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+            "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+        }
+        return 1 if table[predicate] else 0
+
+    def _cast(self, inst: CastInst, frame: Dict[Value, object]) -> object:
+        value = self._evaluate(inst.value, frame)
+        opcode = inst.opcode
+        source_type = inst.value.type
+        dest_type = inst.type
+        if opcode == "bitcast":
+            return value
+        if opcode in ("zext", "trunc", "sext", "ptrtoint", "inttoptr"):
+            if isinstance(value, Pointer):
+                return value
+            integer = self._as_int(value)
+            if opcode == "zext" and isinstance(source_type, IntType):
+                integer = source_type.to_unsigned(integer)
+            if isinstance(dest_type, IntType):
+                return dest_type.wrap(integer)
+            return integer
+        if opcode in ("fptrunc", "fpext", "sitofp", "uitofp"):
+            return float(self._as_int(value) if not isinstance(value, float) else value)
+        if opcode in ("fptosi", "fptoui"):
+            integer = int(value)
+            return dest_type.wrap(integer) if isinstance(dest_type, IntType) else integer
+        raise InterpreterError(f"unsupported cast {opcode}")
+
+    # ------------------------------------------------------------ operands
+    def _evaluate(self, value: Value, frame: Dict[Value, object]) -> object:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, UndefValue):
+            return 0
+        if isinstance(value, GlobalVariable):
+            return self._global_pointer(value)
+        if isinstance(value, Function):
+            return value
+        if value in frame:
+            return frame[value]
+        if isinstance(value, Argument):
+            raise InterpreterError(f"argument %{value.name} not bound")
+        raise InterpreterError(f"use of value %{value.name} before definition")
+
+    def _pointer_operand(self, value: Value, frame: Dict[Value, object]) -> Pointer:
+        pointer = self._evaluate(value, frame)
+        if not isinstance(pointer, Pointer):
+            raise InterpreterError(f"expected a pointer, got {pointer!r}")
+        return pointer
+
+    @staticmethod
+    def _as_int(value) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, Pointer):
+            return value.allocation * 1_000_003 + value.offset
+        if value is None:
+            return 0
+        return int(value)
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(f"exceeded {self.max_steps} interpreter steps")
+
+
+def _pending_exception_key(block) -> str:
+    return f"__pending_exception__{id(block)}"
+
+
+def default_external(name: str, args: Tuple, return_type: Type) -> object:
+    """Deterministic stand-in behaviour for external functions.
+
+    The result depends only on the callee name and the arguments, so the
+    original and merged versions of a function observe identical callee
+    behaviour — exactly what the equivalence tests need.
+    """
+    if name == "__raise":
+        raise GuestException(args[0] if args else None)
+    seed = 0
+    for ch in name:
+        seed = (seed * 131 + ord(ch)) & 0xFFFFFFFF
+    for arg in args:
+        if isinstance(arg, Pointer):
+            arg = arg.allocation * 7 + arg.offset
+        if isinstance(arg, float):
+            arg = int(arg * 1024)
+        seed = (seed * 1_000_003 + (int(arg) & 0xFFFFFFFF)) & 0xFFFFFFFF
+    if isinstance(return_type, FloatType):
+        return float(seed % 1024) / 8.0
+    if isinstance(return_type, PointerType):
+        return Pointer(0x7FFF, seed % 64)
+    if isinstance(return_type, IntType):
+        return return_type.wrap(seed)
+    return None
+
+
+def run_function(module: Module, function_or_name, args: Tuple = (),
+                 externals: Optional[Dict[str, Callable]] = None,
+                 max_steps: int = 200_000) -> ExecutionResult:
+    """Convenience wrapper: run one function of a module and return the result."""
+    return Interpreter(module, externals, max_steps).run(function_or_name, args)

@@ -1,0 +1,89 @@
+"""Modules (translation units) for the repro SSA IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from .function import Function
+from .types import FunctionType, Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A collection of functions and global variables.
+
+    The function-merging passes operate at module scope, mirroring the paper's
+    link-time-optimisation setting where all functions of the program are
+    visible to the optimiser at once.
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: List[Function] = []
+        self.globals: List[GlobalVariable] = []
+
+    # ----------------------------------------------------------- functions
+    def add_function(self, function: Function) -> Function:
+        if self.get_function(function.name) is not None:
+            raise ValueError(f"duplicate function name @{function.name}")
+        function.parent = self
+        self.functions.append(function)
+        return function
+
+    def create_function(self, name: str, function_type: FunctionType,
+                        arg_names: Optional[List[str]] = None) -> Function:
+        return self.add_function(Function(function_type, name, arg_names))
+
+    def declare_function(self, name: str, function_type: FunctionType) -> Function:
+        """Get or create an external function declaration."""
+        existing = self.get_function(name)
+        if existing is not None:
+            return existing
+        return self.add_function(Function(function_type, name))
+
+    def get_function(self, name: str) -> Optional[Function]:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None
+
+    def remove_function(self, function: Function) -> None:
+        self.functions.remove(function)
+        function.parent = None
+
+    def defined_functions(self) -> List[Function]:
+        return [f for f in self.functions if not f.is_declaration()]
+
+    def declarations(self) -> List[Function]:
+        return [f for f in self.functions if f.is_declaration()]
+
+    # ------------------------------------------------------------- globals
+    def add_global(self, variable: GlobalVariable) -> GlobalVariable:
+        variable.parent = self
+        self.globals.append(variable)
+        return variable
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        for variable in self.globals:
+            if variable.name == name:
+                return variable
+        return None
+
+    # ----------------------------------------------------------- utilities
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    def num_instructions(self) -> int:
+        """Total instruction count over all defined functions."""
+        return sum(f.num_instructions() for f in self.defined_functions())
+
+    def unique_function_name(self, prefix: str) -> str:
+        if self.get_function(prefix) is None:
+            return prefix
+        index = 0
+        while self.get_function(f"{prefix}.{index}") is not None:
+            index += 1
+        return f"{prefix}.{index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,137 @@
+"""Textual printer for the repro SSA IR.
+
+The output format intentionally resembles LLVM assembly so that IR dumps are
+familiar to read and so that the companion :mod:`repro.ir.parser` can parse
+them back (round-tripping is covered by property-based tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    GEPInst,
+    Instruction,
+    InvokeInst,
+    LandingPadInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalValue, UndefValue, Value
+
+
+def value_ref(value: Value) -> str:
+    """Render a value as an operand reference (``%x``, ``@f``, ``42``, ``undef``)."""
+    if value is None:
+        return "<null-operand>"
+    if isinstance(value, (Constant, UndefValue)):
+        return value.ref()
+    if isinstance(value, GlobalValue):
+        return f"@{value.name}"
+    return f"%{value.name}" if value.name else "%<unnamed>"
+
+
+def typed_ref(value: Value) -> str:
+    """Render a value with its type, e.g. ``i32 %x``."""
+    return f"{value.type} {value_ref(value)}"
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render a single instruction (without indentation)."""
+    prefix = f"%{inst.name} = " if inst.produces_value() and inst.name else (
+        "%<unnamed> = " if inst.produces_value() else "")
+
+    if isinstance(inst, BinaryInst):
+        return f"{prefix}{inst.opcode} {inst.type} {value_ref(inst.lhs)}, {value_ref(inst.rhs)}"
+    if isinstance(inst, CmpInst):
+        return (f"{prefix}{inst.opcode} {inst.predicate} {inst.lhs.type} "
+                f"{value_ref(inst.lhs)}, {value_ref(inst.rhs)}")
+    if isinstance(inst, CastInst):
+        return f"{prefix}{inst.opcode} {inst.value.type} {value_ref(inst.value)} to {inst.type}"
+    if isinstance(inst, SelectInst):
+        return (f"{prefix}select i1 {value_ref(inst.condition)}, "
+                f"{typed_ref(inst.if_true)}, {typed_ref(inst.if_false)}")
+    if isinstance(inst, AllocaInst):
+        return f"{prefix}alloca {inst.allocated_type}"
+    if isinstance(inst, LoadInst):
+        return f"{prefix}load {inst.type}, {typed_ref(inst.pointer)}"
+    if isinstance(inst, StoreInst):
+        return f"store {typed_ref(inst.value)}, {typed_ref(inst.pointer)}"
+    if isinstance(inst, GEPInst):
+        indices = ", ".join(typed_ref(i) for i in inst.indices)
+        return f"{prefix}getelementptr {typed_ref(inst.pointer)}, {indices}"
+    if isinstance(inst, CallInst):
+        args = ", ".join(typed_ref(a) for a in inst.args)
+        return f"{prefix}call {inst.type} {value_ref(inst.callee)}({args})"
+    if isinstance(inst, InvokeInst):
+        args = ", ".join(typed_ref(a) for a in inst.args)
+        return (f"{prefix}invoke {inst.type} {value_ref(inst.callee)}({args}) "
+                f"to label {value_ref(inst.normal_dest)} unwind label {value_ref(inst.unwind_dest)}")
+    if isinstance(inst, LandingPadInst):
+        suffix = " cleanup" if inst.cleanup else ""
+        return f"{prefix}landingpad {inst.type}{suffix}"
+    if isinstance(inst, PhiInst):
+        pairs = ", ".join(f"[ {value_ref(v)}, {value_ref(b)} ]" for v, b in inst.incoming())
+        return f"{prefix}phi {inst.type} {pairs}"
+    if isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            return (f"br i1 {value_ref(inst.condition)}, label {value_ref(inst.if_true)}, "
+                    f"label {value_ref(inst.if_false)}")
+        return f"br label {value_ref(inst.if_true)}"
+    if isinstance(inst, SwitchInst):
+        cases = "  ".join(f"{typed_ref(v)}, label {value_ref(b)}" for v, b in inst.cases())
+        return f"switch {typed_ref(inst.condition)}, label {value_ref(inst.default)} [ {cases} ]"
+    if isinstance(inst, ReturnInst):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {typed_ref(inst.value)}"
+    if isinstance(inst, UnreachableInst):
+        return "unreachable"
+    raise NotImplementedError(f"cannot print {type(inst).__name__}")
+
+
+def print_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    """Render a function definition or declaration."""
+    params = ", ".join(f"{arg.type} %{arg.name}" for arg in function.args)
+    header = f"{function.return_type} @{function.name}({params})"
+    if function.is_declaration():
+        return f"declare {header}"
+    function.assign_names()
+    lines: List[str] = [f"define {header} {{"]
+    for block in function.blocks:
+        lines.append(print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module."""
+    parts: List[str] = [f"; module: {module.name}"]
+    for variable in module.globals:
+        init = variable.initializer.ref() if variable.initializer is not None else "zeroinitializer"
+        kind = "constant" if variable.is_constant else "global"
+        parts.append(f"@{variable.name} = {kind} {variable.value_type} {init}")
+    for function in module.functions:
+        parts.append(print_function(function))
+    return "\n\n".join(parts) + "\n"

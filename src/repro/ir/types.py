@@ -1,0 +1,247 @@
+"""Type system for the repro SSA intermediate representation.
+
+The type system intentionally mirrors the subset of LLVM types that the
+SalSSA/FMSA function-merging algorithms interact with: integers of arbitrary
+bit width, IEEE floats, pointers, arrays, structs, a void type, a label type
+(for basic-block references) and function types.
+
+Types are immutable value objects: two structurally identical types compare
+equal and hash equally, so they can be used as dictionary keys (e.g. when
+pairing definitions of the same type during phi-node coalescing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_label(self) -> bool:
+        return isinstance(self, LabelType)
+
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    def is_aggregate(self) -> bool:
+        return isinstance(self, (ArrayType, StructType))
+
+    def is_first_class(self) -> bool:
+        """First-class types can be produced by instructions and stored in registers."""
+        return not isinstance(self, (VoidType, FunctionType, LabelType))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self}>"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The type of instructions that produce no value (e.g. ``store``, ``br``)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class LabelType(Type):
+    """The type of basic-block labels used as branch operands."""
+
+    def __str__(self) -> str:
+        return "label"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """An integer type of a fixed bit width (``i1``, ``i8``, ``i32``, ...)."""
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"integer bit width must be positive, got {self.bits}")
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary Python integer into this type's signed range."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        """Reinterpret a signed value of this width as unsigned."""
+        return value & ((1 << self.bits) - 1)
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """A binary floating point type (``float`` = 32 bits, ``double`` = 64 bits)."""
+
+    bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bits not in (16, 32, 64):
+            raise ValueError(f"unsupported float width {self.bits}")
+
+    def __str__(self) -> str:
+        return {16: "half", 32: "float", 64: "double"}[self.bits]
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer to a pointee type (used by alloca/load/store/GEP)."""
+
+    pointee: Type
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A fixed-length homogeneous array, e.g. ``[16 x i32]``."""
+
+    element: Type
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("array length must be non-negative")
+
+    def __str__(self) -> str:
+        return f"[{self.length} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """An anonymous literal struct type, e.g. ``{i32, double}``."""
+
+    elements: Tuple[Type, ...] = field(default_factory=tuple)
+    name: str = ""
+
+    def __str__(self) -> str:
+        if self.name:
+            return f"%struct.{self.name}"
+        inner = ", ".join(str(e) for e in self.elements)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """A function signature: return type plus parameter types."""
+
+    return_type: Type
+    param_types: Tuple[Type, ...] = field(default_factory=tuple)
+    vararg: bool = False
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        if self.vararg:
+            params = params + ", ..." if params else "..."
+        return f"{self.return_type} ({params})"
+
+
+# Commonly used singleton-ish instances.  Types are value objects so sharing
+# these is a convenience, not a requirement.
+VOID = VoidType()
+LABEL = LabelType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def int_type(bits: int) -> IntType:
+    """Return the integer type of the given bit width."""
+    return IntType(bits)
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Return the pointer type to ``pointee``."""
+    return PointerType(pointee)
+
+
+def function_type(return_type: Type, param_types, vararg: bool = False) -> FunctionType:
+    """Return a function type with the given signature."""
+    return FunctionType(return_type, tuple(param_types), vararg)
+
+
+def parse_type(text: str) -> Type:
+    """Parse a textual type such as ``i32``, ``double``, ``i8*`` or ``[4 x i32]``.
+
+    This is a small helper used by the IR parser; it supports the types the
+    printer emits.
+    """
+    text = text.strip()
+    if text.endswith("*"):
+        return PointerType(parse_type(text[:-1]))
+    if text == "void":
+        return VOID
+    if text == "label":
+        return LABEL
+    if text in ("half", "float", "double"):
+        return FloatType({"half": 16, "float": 32, "double": 64}[text])
+    if text.startswith("i") and text[1:].isdigit():
+        return IntType(int(text[1:]))
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        count_text, _, elem_text = inner.partition(" x ")
+        return ArrayType(parse_type(elem_text), int(count_text))
+    if text.startswith("{") and text.endswith("}"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return StructType(())
+        parts = _split_top_level(inner)
+        return StructType(tuple(parse_type(p) for p in parts))
+    raise ValueError(f"cannot parse type: {text!r}")
+
+
+def _split_top_level(text: str) -> list:
+    """Split a comma-separated list while respecting nested brackets."""
+    parts = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "[{(":
+            depth += 1
+        elif ch in "]})":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current).strip())
+    return parts

@@ -1,0 +1,162 @@
+"""Needleman–Wunsch sequence alignment over linearised functions.
+
+This is the alignment stage shared by FMSA and SalSSA (paper §2): a global
+alignment of the two entry sequences that maximises the number of matched
+pairs, where a pair may only match if :func:`repro.merge.matching.entries_match`
+allows it (binary scoring, no substitutions).
+
+The classic dynamic program is quadratic in both time and memory; the module
+records the number of DP cells allocated so the memory experiments
+(paper §5.5, Figure 22) can attribute memory to sequence length.  A
+linear-space variant (Hirschberg) is provided as well and used for an ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .linearize import Entry, InstructionEntry, LabelEntry
+from .matching import entries_match
+
+MatchPredicate = Callable[[Entry, Entry], bool]
+
+
+@dataclass(frozen=True)
+class AlignedPair:
+    """One column of the alignment: an entry of each function or a gap (None)."""
+
+    first: Optional[Entry]
+    second: Optional[Entry]
+
+    @property
+    def is_match(self) -> bool:
+        return self.first is not None and self.second is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"({self.first!r} | {self.second!r})"
+
+
+@dataclass
+class AlignmentResult:
+    """The alignment plus the statistics the evaluation harness reports."""
+
+    pairs: List[AlignedPair]
+    matches: int
+    length_first: int
+    length_second: int
+    dp_cells: int
+
+    @property
+    def match_ratio(self) -> float:
+        total = max(1, self.length_first + self.length_second)
+        return 2.0 * self.matches / total
+
+    def matched_pairs(self) -> List[AlignedPair]:
+        return [p for p in self.pairs if p.is_match]
+
+
+def align(sequence_a: Sequence[Entry], sequence_b: Sequence[Entry],
+          match: MatchPredicate = entries_match,
+          match_score: int = 2, gap_penalty: int = 0) -> AlignmentResult:
+    """Globally align two entry sequences with Needleman–Wunsch.
+
+    Only matching entries may be paired; every other entry is emitted against
+    a gap.  ``match_score``/``gap_penalty`` follow the binary scoring of the
+    original FMSA formulation.
+    """
+    rows = len(sequence_a) + 1
+    cols = len(sequence_b) + 1
+    negative_infinity = float("-inf")
+
+    # score[i][j]: best score aligning a[:i] with b[:j]
+    score = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        score[i][0] = score[i - 1][0] - gap_penalty
+    for j in range(1, cols):
+        score[0][j] = score[0][j - 1] - gap_penalty
+
+    for i in range(1, rows):
+        entry_a = sequence_a[i - 1]
+        row = score[i]
+        above = score[i - 1]
+        for j in range(1, cols):
+            entry_b = sequence_b[j - 1]
+            diagonal = negative_infinity
+            if match(entry_a, entry_b):
+                diagonal = above[j - 1] + match_score
+            best = above[j] - gap_penalty
+            left = row[j - 1] - gap_penalty
+            if left > best:
+                best = left
+            if diagonal > best:
+                best = diagonal
+            row[j] = best
+
+    pairs: List[AlignedPair] = []
+    matches = 0
+    i, j = rows - 1, cols - 1
+    while i > 0 or j > 0:
+        if i > 0 and j > 0 and match(sequence_a[i - 1], sequence_b[j - 1]) \
+                and score[i][j] == score[i - 1][j - 1] + match_score:
+            pairs.append(AlignedPair(sequence_a[i - 1], sequence_b[j - 1]))
+            matches += 1
+            i -= 1
+            j -= 1
+        elif i > 0 and score[i][j] == score[i - 1][j] - gap_penalty:
+            pairs.append(AlignedPair(sequence_a[i - 1], None))
+            i -= 1
+        else:
+            pairs.append(AlignedPair(None, sequence_b[j - 1]))
+            j -= 1
+    pairs.reverse()
+
+    return AlignmentResult(pairs, matches, len(sequence_a), len(sequence_b), rows * cols)
+
+
+def align_hirschberg(sequence_a: Sequence[Entry], sequence_b: Sequence[Entry],
+                     match: MatchPredicate = entries_match,
+                     match_score: int = 2, gap_penalty: int = 0) -> AlignmentResult:
+    """Linear-space alignment (Hirschberg).  Same result quality, O(min(n,m))
+    memory — used by the memory-ablation benchmark."""
+    pairs = _hirschberg(list(sequence_a), list(sequence_b), match, match_score, gap_penalty)
+    matches = sum(1 for p in pairs if p.is_match)
+    cells = 2 * (len(sequence_b) + 1)
+    return AlignmentResult(pairs, matches, len(sequence_a), len(sequence_b), cells)
+
+
+def _nw_score_last_row(a: List[Entry], b: List[Entry], match: MatchPredicate,
+                       match_score: int, gap_penalty: int) -> List[float]:
+    previous = [-gap_penalty * j for j in range(len(b) + 1)]
+    for i in range(1, len(a) + 1):
+        current = [previous[0] - gap_penalty] + [0.0] * len(b)
+        for j in range(1, len(b) + 1):
+            diagonal = float("-inf")
+            if match(a[i - 1], b[j - 1]):
+                diagonal = previous[j - 1] + match_score
+            current[j] = max(diagonal, previous[j] - gap_penalty, current[j - 1] - gap_penalty)
+        previous = current
+    return previous
+
+
+def _hirschberg(a: List[Entry], b: List[Entry], match: MatchPredicate,
+                match_score: int, gap_penalty: int) -> List[AlignedPair]:
+    if not a:
+        return [AlignedPair(None, entry) for entry in b]
+    if not b:
+        return [AlignedPair(entry, None) for entry in a]
+    if len(a) == 1 or len(b) == 1:
+        return align(a, b, match, match_score, gap_penalty).pairs
+
+    mid = len(a) // 2
+    score_left = _nw_score_last_row(a[:mid], b, match, match_score, gap_penalty)
+    score_right = _nw_score_last_row(list(reversed(a[mid:])), list(reversed(b)),
+                                     match, match_score, gap_penalty)
+    split, best = 0, float("-inf")
+    for j in range(len(b) + 1):
+        total = score_left[j] + score_right[len(b) - j]
+        if total > best:
+            best, split = total, j
+    return (_hirschberg(a[:mid], b[:split], match, match_score, gap_penalty)
+            + _hirschberg(a[mid:], b[split:], match, match_score, gap_penalty))

@@ -1,0 +1,66 @@
+"""Profitability cost model for function merging.
+
+FMSA and SalSSA share one profitability model (paper §5.3): a merge is
+committed only if the estimated object size of the merged function (plus the
+call/thunk overhead needed to preserve the original entry points) is smaller
+than the combined size of the two input functions.
+
+The model is static and imperfect by design — the paper explicitly discusses
+its false positives (cjpeg/djpeg, Figure 19) because later optimisations and
+the back end are not visible to it.  The same is true here: the estimate uses
+the IR-level size model, while the reported reductions measure the final
+module size after thunk rewriting and clean-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.size_model import SizeModel, X86_64
+from ..ir.function import Function
+
+
+@dataclass(frozen=True)
+class MergeDecision:
+    """The outcome of evaluating one candidate merge."""
+
+    profitable: bool
+    original_size: int
+    merged_size: int
+    overhead: int
+
+    @property
+    def benefit(self) -> int:
+        """Estimated bytes saved (negative when the merge would grow code)."""
+        return self.original_size - self.merged_size - self.overhead
+
+
+@dataclass
+class CostModel:
+    """Size-based profitability model shared by FMSA and SalSSA."""
+
+    size_model: SizeModel = X86_64
+    #: Extra bytes charged per preserved entry point (thunk: call + ret + setup).
+    thunk_overhead: int = 12
+    #: Require at least this many bytes of estimated benefit before committing.
+    minimum_benefit: int = 1
+
+    def function_size(self, function: Function) -> int:
+        return self.size_model.function_size(function)
+
+    def evaluate(self, function_a: Function, function_b: Function, merged: Function,
+                 size_a: Optional[int] = None, size_b: Optional[int] = None,
+                 kept_thunks: int = 2) -> MergeDecision:
+        """Decide whether replacing ``function_a``/``function_b`` by ``merged`` pays off.
+
+        ``size_a``/``size_b`` allow the caller to pass the *original* sizes
+        (before any preprocessing such as register demotion) so that FMSA is
+        judged against the same baseline as SalSSA.
+        """
+        original = (size_a if size_a is not None else self.function_size(function_a)) + \
+                   (size_b if size_b is not None else self.function_size(function_b))
+        merged_size = self.function_size(merged)
+        overhead = kept_thunks * self.thunk_overhead
+        profitable = original - merged_size - overhead >= self.minimum_benefit
+        return MergeDecision(profitable, original, merged_size, overhead)

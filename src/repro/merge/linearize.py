@@ -1,0 +1,75 @@
+"""Linearisation of functions for sequence alignment.
+
+Both FMSA and SalSSA represent a function as a linear sequence of *labels* and
+*instructions* (paper §2): every basic block contributes one label entry
+followed by one entry per instruction.  SalSSA excludes phi-nodes from the
+sequence — they are attached to their label and handled by the code generator
+(§4.1.1) — and both approaches exclude landing-pad instructions from
+alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, LandingPadInst, PhiInst
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """A basic-block label in the linearised sequence."""
+
+    block: BasicBlock
+
+    @property
+    def is_label(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Label({self.block.name})"
+
+
+@dataclass(frozen=True)
+class InstructionEntry:
+    """An instruction in the linearised sequence."""
+
+    instruction: Instruction
+
+    @property
+    def is_label(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Inst({self.instruction.opcode} %{self.instruction.name})"
+
+
+Entry = Union[LabelEntry, InstructionEntry]
+
+
+def linearize(function: Function, include_phis: bool = False) -> List[Entry]:
+    """Linearise ``function`` into a sequence of labels and instructions.
+
+    ``include_phis`` is False for SalSSA (phi-nodes travel with their label);
+    it is irrelevant for FMSA because register demotion has removed phi-nodes
+    before linearisation.
+    """
+    sequence: List[Entry] = []
+    for block in function.blocks:
+        sequence.append(LabelEntry(block))
+        for inst in block.instructions:
+            if isinstance(inst, PhiInst) and not include_phis:
+                continue
+            sequence.append(InstructionEntry(inst))
+    return sequence
+
+
+def sequence_length(function: Function, include_phis: bool = False) -> int:
+    """The length of the aligned sequence for ``function``.
+
+    Alignment time and memory are quadratic in this length (paper §3), which
+    is why register demotion — which roughly doubles it — is so costly.
+    """
+    return len(linearize(function, include_phis))

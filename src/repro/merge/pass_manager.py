@@ -1,0 +1,253 @@
+"""The module-level function-merging pass.
+
+This is the driver both techniques share (paper §5.1): functions are ranked by
+a fingerprint-based similarity search, the ``t`` most similar candidates are
+attempted for each function (the *exploration threshold*), each attempt is
+evaluated with the shared profitability cost model, and only the best
+profitable merge per function is committed.  Merged functions become
+candidates for further merging, and the original entry points are preserved as
+thin thunks that forward to the merged function with the right function
+identifier.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..analysis.fingerprint import CandidateRanking
+from ..analysis.size_model import SizeModel, X86_64
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import CallInst, ReturnInst
+from ..ir.module import Module
+from ..ir.types import VoidType
+from ..ir.values import Constant
+from ..ir.builder import IRBuilder
+from ..ir.verifier import verify_function
+from .cost_model import CostModel, MergeDecision
+from .fmsa import FMSAMerger, FMSAOptions
+from .salssa.codegen import MergedFunction, MergeError, SalSSAMerger, SalSSAOptions
+
+
+@dataclass
+class MergePassOptions:
+    """Configuration of one function-merging run."""
+
+    technique: str = "salssa"  # "salssa" or "fmsa"
+    exploration_threshold: int = 1
+    size_model: SizeModel = X86_64
+    cost_model: Optional[CostModel] = None
+    salssa: SalSSAOptions = field(default_factory=SalSSAOptions)
+    fmsa: FMSAOptions = field(default_factory=FMSAOptions)
+    #: Skip functions smaller than this many IR instructions.
+    min_function_size: int = 3
+    #: Allow merged functions to be merged again with further candidates.
+    allow_remerge: bool = True
+    #: Verify every committed merged function (slower; used by tests).
+    verify: bool = False
+    #: Model the FMSA residue: demote+promote every function even if unmerged.
+    model_fmsa_residue: bool = True
+
+    def resolved_cost_model(self) -> CostModel:
+        return self.cost_model or CostModel(size_model=self.size_model)
+
+
+@dataclass
+class MergeRecord:
+    """One attempted (and possibly committed) merge operation."""
+
+    first: str
+    second: str
+    merged: str
+    decision: MergeDecision
+    committed: bool
+    matched_instructions: int
+    alignment_seconds: float
+    codegen_seconds: float
+    alignment_dp_cells: int
+
+
+@dataclass
+class MergeReport:
+    """The outcome of running the merging pass over a module."""
+
+    technique: str
+    exploration_threshold: int
+    size_before: int = 0
+    size_after: int = 0
+    instructions_before: int = 0
+    instructions_after: int = 0
+    attempts: int = 0
+    profitable_merges: int = 0
+    records: List[MergeRecord] = field(default_factory=list)
+    alignment_seconds: float = 0.0
+    codegen_seconds: float = 0.0
+    total_seconds: float = 0.0
+    peak_alignment_cells: int = 0
+    total_alignment_cells: int = 0
+
+    @property
+    def reduction_percent(self) -> float:
+        """Object-size reduction over the pre-merging module, in percent."""
+        if self.size_before == 0:
+            return 0.0
+        return 100.0 * (self.size_before - self.size_after) / self.size_before
+
+    @property
+    def committed_records(self) -> List[MergeRecord]:
+        return [r for r in self.records if r.committed]
+
+
+class FunctionMergingPass:
+    """Runs FMSA- or SalSSA-based function merging over a whole module."""
+
+    def __init__(self, options: Optional[MergePassOptions] = None) -> None:
+        self.options = options or MergePassOptions()
+        if self.options.technique not in ("salssa", "fmsa"):
+            raise ValueError(f"unknown technique {self.options.technique!r}")
+
+    # ------------------------------------------------------------ interface
+    def run(self, module: Module) -> MergeReport:
+        options = self.options
+        cost_model = options.resolved_cost_model()
+        report = MergeReport(options.technique, options.exploration_threshold)
+        report.size_before = options.size_model.module_size(module)
+        report.instructions_before = module.num_instructions()
+        start_time = time.perf_counter()
+
+        merger = self._make_merger(module)
+        original_sizes: Dict[Function, int] = {
+            f: cost_model.function_size(f) for f in module.defined_functions()}
+
+        ranking = CandidateRanking(module, min_size=options.min_function_size)
+        consumed: Set[Function] = set()
+        worklist = ranking.functions_by_size()
+
+        index = 0
+        while index < len(worklist):
+            function = worklist[index]
+            index += 1
+            if function in consumed or function.parent is not module:
+                continue
+            best: Optional[MergedFunction] = None
+            best_decision: Optional[MergeDecision] = None
+            for candidate in ranking.candidates_for(function, options.exploration_threshold,
+                                                    exclude=consumed):
+                other = candidate.function
+                if other in consumed or other.parent is not module:
+                    continue
+                attempt = self._attempt(merger, module, function, other, report)
+                if attempt is None:
+                    continue
+                merged, decision = attempt
+                better = best_decision is None or decision.benefit > best_decision.benefit
+                if better:
+                    if best is not None:
+                        module.remove_function(best.function)
+                    best, best_decision = merged, decision
+                else:
+                    module.remove_function(merged.function)
+
+            if best is not None and best_decision is not None and best_decision.profitable:
+                self._commit(module, best, report)
+                consumed.add(best.first)
+                consumed.add(best.second)
+                ranking.remove(best.first)
+                ranking.remove(best.second)
+                original_sizes[best.function] = cost_model.function_size(best.function)
+                if options.allow_remerge:
+                    ranking.update(best.function)
+                    worklist.append(best.function)
+                report.profitable_merges += 1
+            elif best is not None:
+                module.remove_function(best.function)
+
+        if options.technique == "fmsa" and options.model_fmsa_residue:
+            self._apply_fmsa_residue(module, consumed)
+
+        report.size_after = options.size_model.module_size(module)
+        report.instructions_after = module.num_instructions()
+        report.total_seconds = time.perf_counter() - start_time
+        self._original_sizes = original_sizes
+        return report
+
+    # ------------------------------------------------------------ internals
+    def _make_merger(self, module: Module):
+        if self.options.technique == "fmsa":
+            return FMSAMerger(module, self.options.fmsa)
+        return SalSSAMerger(module, self.options.salssa)
+
+    def _attempt(self, merger, module: Module, function: Function, other: Function,
+                 report: MergeReport):
+        cost_model = self.options.resolved_cost_model()
+        if function.return_type != other.return_type:
+            return None
+        report.attempts += 1
+        try:
+            merged = merger.merge(function, other)
+        except MergeError:
+            return None
+        stats = merged.stats
+        report.alignment_seconds += stats.alignment_seconds
+        report.codegen_seconds += stats.codegen_seconds
+        report.total_alignment_cells += stats.alignment_dp_cells
+        report.peak_alignment_cells = max(report.peak_alignment_cells,
+                                          stats.alignment_dp_cells)
+        size_a = cost_model.function_size(function)
+        size_b = cost_model.function_size(other)
+        decision = cost_model.evaluate(function, other, merged.function,
+                                       size_a=size_a, size_b=size_b)
+        report.records.append(MergeRecord(
+            first=function.name, second=other.name, merged=merged.function.name,
+            decision=decision, committed=False,
+            matched_instructions=stats.matched_instructions,
+            alignment_seconds=stats.alignment_seconds,
+            codegen_seconds=stats.codegen_seconds,
+            alignment_dp_cells=stats.alignment_dp_cells))
+        return merged, decision
+
+    def _commit(self, module: Module, merged: MergedFunction, report: MergeReport) -> None:
+        if self.options.verify:
+            verify_function(merged.function)
+        replace_with_thunk(merged, 0, merged.first)
+        replace_with_thunk(merged, 1, merged.second)
+        for record in reversed(report.records):
+            if record.merged == merged.function.name:
+                record.committed = True
+                break
+
+    def _apply_fmsa_residue(self, module: Module, consumed: Set[Function]) -> None:
+        """FMSA demotes every function before merging; functions that end up
+        unmerged still go through the demote/promote round trip (the residue)."""
+        from ..transforms.mem2reg import promote_allocas
+        from ..transforms.reg2mem import demote_function
+        from ..transforms.simplify import simplify_function
+
+        for function in module.defined_functions():
+            if function in consumed:
+                continue
+            demote_function(function)
+            promote_allocas(function)
+            simplify_function(function)
+
+
+def replace_with_thunk(merged: MergedFunction, which: int, original: Function) -> None:
+    """Replace ``original``'s body with a thunk that tail-calls the merged function.
+
+    The original function object (and therefore every existing call site and
+    address-taken use) stays valid; only its body is rewritten, exactly like
+    the LLVM implementation keeps the original symbol as a forwarding stub.
+    """
+    for block in list(original.blocks):
+        block.erase_from_parent()
+    entry = original.add_block(BasicBlock("entry"))
+    builder = IRBuilder(entry)
+    args = merged.call_arguments(which, list(original.args))
+    call = builder.call(merged.function, args, name="merged.result"
+                        if not isinstance(original.return_type, VoidType) else "")
+    if isinstance(original.return_type, VoidType):
+        builder.ret_void()
+    else:
+        builder.ret(call)

@@ -1,0 +1,12 @@
+"""SalSSA: function merging with full SSA support (the paper's contribution)."""
+
+from .codegen import (
+    MergeError,
+    MergeStats,
+    MergedFunction,
+    SalSSAMerger,
+    SalSSAOptions,
+)
+from .phi_coalescing import CoalescingPlan, exclusive_side, plan_coalescing
+
+__all__ = [name for name in dir() if not name.startswith("_")]

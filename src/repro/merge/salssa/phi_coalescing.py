@@ -1,0 +1,108 @@
+"""Phi-node coalescing (paper §4.4).
+
+After SalSSA's code generation, values defined in code exclusive to one input
+function may be used (through operand selection) at merge points where their
+definition does not dominate the use.  The standard SSA repair would insert
+one phi-node per such value, each merging the value with ``undef``.  Phi-node
+coalescing instead pairs *disjoint* definitions — one exclusive to each input
+function, with the same type — under a single reconstructed name, so a single
+phi-node replaces two phi-nodes and, when the pair feeds an operand select,
+the select folds away entirely (Figures 14 and 15).
+
+The pairing heuristic follows the paper: among all disjoint pairs
+``(d1, d2) ∈ S1 × S2`` choose pairs maximising ``|UB(d1) ∩ UB(d2)|`` where
+``UB(d)`` is the set of blocks containing users of ``d``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...analysis.liveness import user_blocks
+from ...ir.basic_block import BasicBlock
+from ...ir.instructions import Instruction
+
+
+@dataclass
+class CoalescingPlan:
+    """The groups of definitions to reconstruct under a single name."""
+
+    pairs: List[Tuple[Instruction, Instruction]]
+    singletons: List[Instruction]
+
+    def groups(self) -> List[List[Instruction]]:
+        return [[a, b] for a, b in self.pairs] + [[v] for v in self.singletons]
+
+    @property
+    def coalesced_count(self) -> int:
+        return len(self.pairs)
+
+
+def exclusive_side(value: Instruction,
+                   block_origin: Dict[BasicBlock, Dict[int, BasicBlock]]) -> Optional[int]:
+    """Which input function a definition is exclusive to (0, 1, or None if shared).
+
+    ``block_origin`` is the merger's block map: merged block -> {function
+    index: input block}.  A definition in a block that carries code from both
+    input functions is not exclusive and cannot be coalesced.
+    """
+    if value.parent is None:
+        return None
+    origin = block_origin.get(value.parent, {})
+    if set(origin.keys()) == {0}:
+        return 0
+    if set(origin.keys()) == {1}:
+        return 1
+    return None
+
+
+def plan_coalescing(violating: Sequence[Instruction],
+                    block_origin: Dict[BasicBlock, Dict[int, BasicBlock]],
+                    enable: bool = True) -> CoalescingPlan:
+    """Partition dominance-violating definitions into coalesced pairs and singletons."""
+    if not enable:
+        return CoalescingPlan([], list(violating))
+
+    side_zero: List[Instruction] = []
+    side_one: List[Instruction] = []
+    shared: List[Instruction] = []
+    for value in violating:
+        side = exclusive_side(value, block_origin)
+        if side == 0:
+            side_zero.append(value)
+        elif side == 1:
+            side_one.append(value)
+        else:
+            shared.append(value)
+
+    # Score every cross pair by user-block overlap, then pick greedily.
+    candidates: List[Tuple[int, Instruction, Instruction]] = []
+    blocks_cache: Dict[Instruction, Set[BasicBlock]] = {}
+
+    def cached_user_blocks(value: Instruction) -> Set[BasicBlock]:
+        blocks = blocks_cache.get(value)
+        if blocks is None:
+            blocks = user_blocks(value)
+            blocks_cache[value] = blocks
+        return blocks
+
+    for value_a in side_zero:
+        for value_b in side_one:
+            if value_a.type != value_b.type:
+                continue
+            overlap = len(cached_user_blocks(value_a) & cached_user_blocks(value_b))
+            candidates.append((overlap, value_a, value_b))
+
+    candidates.sort(key=lambda item: (-item[0], item[1].name, item[2].name))
+    taken: Set[Instruction] = set()
+    pairs: List[Tuple[Instruction, Instruction]] = []
+    for _, value_a, value_b in candidates:
+        if value_a in taken or value_b in taken:
+            continue
+        pairs.append((value_a, value_b))
+        taken.add(value_a)
+        taken.add(value_b)
+
+    singletons = [v for v in violating if v not in taken and v not in shared] + shared
+    return CoalescingPlan(pairs, singletons)

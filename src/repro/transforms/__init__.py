@@ -1,0 +1,16 @@
+"""IR-to-IR transformations: register demotion/promotion, SSA reconstruction,
+CFG simplification and dead code elimination."""
+
+from .reg2mem import Reg2MemStats, demote_function, demote_module
+from .mem2reg import (
+    Mem2RegStats,
+    ReconstructionResult,
+    SSAReconstructor,
+    is_promotable,
+    promote_allocas,
+    promote_module,
+)
+from .simplify import SimplifyStats, simplify_function, simplify_module
+from .dce import eliminate_dead_code, eliminate_dead_code_module, is_trivially_dead
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,59 @@
+"""Function cloning.
+
+The merging pass never mutates the input functions while *evaluating* a merge:
+it works on clones, checks profitability, and only then commits.  FMSA
+additionally needs clones because register demotion rewrites the body before
+alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction, PhiInst
+from ..ir.module import Module
+from ..ir.values import Argument, Value
+
+
+def clone_function(function: Function, new_name: Optional[str] = None,
+                   module: Optional[Module] = None) -> Tuple[Function, Dict[Value, Value]]:
+    """Create a deep copy of ``function``.
+
+    Returns the clone and the value map from original values (arguments,
+    blocks, instructions) to their copies.  If ``module`` is given the clone
+    is added to it under ``new_name`` (which must then be unique).
+    """
+    name = new_name if new_name is not None else function.name
+    clone = Function(function.function_type, name, [arg.name for arg in function.args])
+    value_map: Dict[Value, Value] = {}
+    for original_arg, cloned_arg in zip(function.args, clone.args):
+        value_map[original_arg] = cloned_arg
+
+    # First pass: create blocks and instruction shells in order.
+    for block in function.blocks:
+        new_block = BasicBlock(block.name)
+        clone.add_block(new_block)
+        value_map[block] = new_block
+
+    for block in function.blocks:
+        new_block = value_map[block]
+        for inst in block.instructions:
+            copied = inst.clone()
+            copied.name = inst.name
+            new_block.append(copied)
+            value_map[inst] = copied
+
+    # Second pass: remap operands of the copied instructions.
+    for block in function.blocks:
+        for inst in block.instructions:
+            copied = value_map[inst]
+            for index, operand in enumerate(inst.operands):
+                if operand is None:
+                    continue
+                copied.set_operand(index, value_map.get(operand, operand))
+
+    if module is not None:
+        module.add_function(clone)
+    return clone, value_map

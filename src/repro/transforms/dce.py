@@ -1,0 +1,68 @@
+"""Dead code elimination.
+
+A simple, safe DCE: instructions whose results are unused and which have no
+side effects are removed, iterating until a fixed point so chains of dead
+computations collapse.  Used by the post-merge clean-up (paper Fig. 1) and by
+the thunk-rewriting step of the pass manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.function import Function
+from ..ir.instructions import AllocaInst, Instruction, LoadInst, StoreInst
+from ..ir.module import Module
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """True if the instruction can be deleted without changing behaviour."""
+    if inst.is_terminator():
+        return False
+    if inst.is_used():
+        return False
+    if isinstance(inst, (AllocaInst, LoadInst)):
+        return True
+    return not inst.has_side_effects()
+
+
+def eliminate_dead_code(function: Function) -> int:
+    """Remove trivially dead instructions; returns how many were deleted."""
+    if function.is_declaration():
+        return 0
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            for inst in reversed(list(block.instructions)):
+                if is_trivially_dead(inst):
+                    inst.erase_from_parent()
+                    removed += 1
+                    changed = True
+        # Stores to a stack slot that is never loaded are dead as well.
+        dead_stack = _remove_dead_alloca_stores(function)
+        removed += dead_stack
+        changed |= bool(dead_stack)
+    return removed
+
+
+def _remove_dead_alloca_stores(function: Function) -> int:
+    removed = 0
+    for block in function.blocks:
+        for inst in list(block.instructions):
+            if not isinstance(inst, AllocaInst):
+                continue
+            users = inst.users()
+            if users and all(isinstance(u, StoreInst) and u.pointer is inst for u in users):
+                for store in list(users):
+                    store.erase_from_parent()
+                    removed += 1
+                inst.erase_from_parent()
+                removed += 1
+    return removed
+
+
+def eliminate_dead_code_module(module: Module) -> Dict[Function, int]:
+    """Run DCE over every defined function of a module."""
+    return {f: eliminate_dead_code(f) for f in module.defined_functions()}

@@ -1,0 +1,20 @@
+"""Synthetic workloads standing in for the paper's benchmark suites."""
+
+from .generator import (
+    FamilySpec,
+    ProgramSpec,
+    WorkloadGenerator,
+    generate_program,
+    simple_spec,
+)
+from .spec_like import (
+    SPEC_CPU2006,
+    SPEC_CPU2017,
+    SUITES,
+    BenchmarkSpec,
+    get_benchmark,
+    get_suite,
+)
+from .mibench_like import MIBENCH, MiBenchSpec, get_mibench, mibench_names
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,424 @@
+"""Deterministic synthetic IR workload generator.
+
+The paper evaluates on SPEC CPU 2006/2017 and MiBench, none of which can be
+compiled here (no clang, no benchmark sources).  What function merging cares
+about is the *population structure* of a program's functions: how many
+functions there are, how large they are, how many of them come in families of
+similar-but-not-identical clones (template instantiations, copy-pasted
+helpers, generated parsers), and how much control flow (phi-nodes, loops,
+branches, calls, exceptions) they contain.
+
+This module generates programs with exactly those knobs, deterministically
+from a seed, so every experiment is reproducible:
+
+* a **template** function is generated from a random but structured mix of
+  regions (straight-line arithmetic, if/else diamonds, bounded loops, calls,
+  local memory traffic, optionally ``invoke``/``landingpad`` pairs);
+* a **family** is the template plus clones derived by semantic mutations
+  (changed constants, different comparison predicates, swapped commutative
+  operands, substituted callees, inserted extra computation) — similar enough
+  to merge, different enough that merging is not trivial deduplication;
+* a **program** is a set of families plus standalone functions plus a ``main``
+  entry point that calls into the generated functions (used by the runtime
+  experiment, Figure 25).
+
+All generated functions are verifier-clean and terminate under the reference
+interpreter (loops have constant trip counts; there is no recursion).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.basic_block import BasicBlock
+from ..ir.builder import IRBuilder
+from ..ir.function import Function
+from ..ir.instructions import BinaryInst, CallInst, CmpInst, Instruction
+from ..ir.module import Module
+from ..ir.types import FunctionType, IntType, I1, I32, I64, VOID
+from ..ir.values import Constant, Value
+from ..transforms.clone import clone_function
+
+
+# Opcodes used for generated arithmetic, grouped so mutations stay well typed.
+_ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor", "shl")
+_SAFE_MUTATION_OPS = {"add": "sub", "sub": "add", "mul": "add", "and": "or",
+                      "or": "xor", "xor": "and", "shl": "add"}
+_PREDICATES = ("slt", "sle", "sgt", "sge", "eq", "ne")
+
+
+@dataclass
+class FamilySpec:
+    """A family of similar functions: one template plus ``size - 1`` clones."""
+
+    size: int = 2
+    #: Number of mutations applied per clone, as a fraction of template size.
+    divergence: float = 0.08
+    #: Target number of IR instructions for the template.
+    function_size: int = 40
+
+
+@dataclass
+class ProgramSpec:
+    """Description of one synthetic program (a stand-in for one benchmark)."""
+
+    name: str
+    seed: int = 0
+    families: List[FamilySpec] = field(default_factory=list)
+    #: Functions with no similar sibling in the program.
+    standalone_functions: int = 4
+    standalone_size: int = 30
+    #: Fraction of call sites emitted as ``invoke`` with a landing pad.
+    exception_density: float = 0.0
+    #: Number of external callees available to generated code.
+    external_pool: int = 6
+    #: Generate a main() driver calling into the generated functions.
+    with_main: bool = True
+
+    def total_functions(self) -> int:
+        return sum(f.size for f in self.families) + self.standalone_functions + (
+            1 if self.with_main else 0)
+
+
+class WorkloadGenerator:
+    """Generates synthetic modules according to a :class:`ProgramSpec`."""
+
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.module = Module(spec.name)
+        self.externals: List[Function] = []
+        #: Loop-control instructions (guards and induction updates) that clone
+        #: mutations must never touch, so every generated function keeps its
+        #: termination guarantee under the reference interpreter.
+        self._protected: set = set()
+
+    # ------------------------------------------------------------ interface
+    def generate(self) -> Module:
+        """Generate the whole program module."""
+        self._declare_externals()
+        function_index = 0
+        generated: List[Function] = []
+        for family_index, family in enumerate(self.spec.families):
+            template = self.generate_function(
+                f"{self.spec.name}_fam{family_index}_0", family.function_size)
+            generated.append(template)
+            for clone_index in range(1, family.size):
+                clone = self.mutate_clone(
+                    template, f"{self.spec.name}_fam{family_index}_{clone_index}",
+                    family.divergence)
+                generated.append(clone)
+            function_index += family.size
+        for standalone_index in range(self.spec.standalone_functions):
+            generated.append(self.generate_function(
+                f"{self.spec.name}_fn{standalone_index}",
+                max(6, int(self.spec.standalone_size * self.rng.uniform(0.5, 1.5)))))
+        if self.spec.with_main:
+            self._generate_main(generated)
+        return self.module
+
+    # ------------------------------------------------------------ externals
+    def _declare_externals(self) -> None:
+        signatures = [
+            FunctionType(I32, (I32,)),
+            FunctionType(I32, (I32, I32)),
+            FunctionType(I32, ()),
+            FunctionType(VOID, (I32,)),
+        ]
+        for index in range(self.spec.external_pool):
+            signature = signatures[index % len(signatures)]
+            self.externals.append(self.module.declare_function(
+                f"ext_{self.spec.name}_{index}", signature))
+
+    def _externals_with_type(self, function_type: FunctionType) -> List[Function]:
+        return [f for f in self.externals if f.function_type == function_type]
+
+    # ------------------------------------------------------ single function
+    def generate_function(self, name: str, size_hint: int,
+                          num_args: Optional[int] = None) -> Function:
+        """Generate one structured function of roughly ``size_hint`` instructions."""
+        rng = self.rng
+        if num_args is None:
+            num_args = rng.randint(1, 3)
+        function_type = FunctionType(I32, tuple([I32] * num_args))
+        function = self.module.create_function(name, function_type,
+                                               [f"a{i}" for i in range(num_args)])
+        entry = function.add_block("entry")
+        builder = IRBuilder(entry)
+        values: List[Value] = list(function.args)
+
+        # A local stack slot gives the generator load/store traffic to play with.
+        slot = builder.alloca(I32, "slot")
+        builder.store(values[0], slot)
+
+        budget = max(6, size_hint)
+        while function.num_instructions() < budget:
+            remaining = budget - function.num_instructions()
+            choice = rng.random()
+            if remaining > 14 and choice < 0.22:
+                builder = self._emit_loop(function, builder, values)
+            elif remaining > 9 and choice < 0.50:
+                builder = self._emit_diamond(function, builder, values)
+            elif choice < 0.70:
+                self._emit_straightline(builder, values, rng.randint(2, 5))
+            elif choice < 0.90:
+                self._emit_call(builder, values)
+            else:
+                self._emit_memory(builder, values, slot)
+
+        result = self._pick_int_value(values)
+        builder.ret(result)
+        return function
+
+    # ------------------------------------------------------------- regions
+    def _pick_int_value(self, values: Sequence[Value]) -> Value:
+        candidates = [v for v in values if v.type == I32]
+        if not candidates:
+            return Constant(I32, self.rng.randint(0, 64))
+        return self.rng.choice(candidates)
+
+    def _emit_straightline(self, builder: IRBuilder, values: List[Value], count: int) -> None:
+        for _ in range(count):
+            opcode = self.rng.choice(_ARITH_OPS)
+            lhs = self._pick_int_value(values)
+            rhs = self._pick_int_value(values) if self.rng.random() < 0.6 \
+                else Constant(I32, self.rng.randint(1, 32))
+            if opcode == "shl":
+                rhs = Constant(I32, self.rng.randint(1, 4))
+            values.append(builder.binary(opcode, lhs, rhs))
+
+    def _emit_call(self, builder: IRBuilder, values: List[Value]) -> None:
+        callee = self.rng.choice(self.externals)
+        args = []
+        for param_type in callee.function_type.param_types:
+            args.append(self._pick_int_value(values) if param_type == I32
+                        else Constant(param_type, 1))
+        use_invoke = (self.rng.random() < self.spec.exception_density
+                      and callee.return_type == I32)
+        if use_invoke:
+            self._emit_invoke(builder, callee, args, values)
+            return
+        call = builder.call(callee, args)
+        if callee.return_type == I32:
+            values.append(call)
+
+    def _emit_invoke(self, builder: IRBuilder, callee: Function, args: List[Value],
+                     values: List[Value]) -> None:
+        function = builder.function
+        normal = function.add_block(function.unique_name("cont"))
+        unwind = function.add_block(function.unique_name("lpad"))
+        done = function.add_block(function.unique_name("resume"))
+        invoke = builder.invoke(callee, args, normal, unwind)
+        builder.position_at_end(unwind)
+        builder.landingpad(I32, cleanup=True)
+        builder.br(done)
+        builder.position_at_end(normal)
+        builder.br(done)
+        builder.position_at_end(done)
+        phi = builder.phi(I32, [(invoke, normal), (Constant(I32, 0), unwind)])
+        values.append(phi)
+
+    def _emit_memory(self, builder: IRBuilder, values: List[Value], slot: Value) -> None:
+        if self.rng.random() < 0.5:
+            builder.store(self._pick_int_value(values), slot)
+        loaded = builder.load(slot)
+        values.append(loaded)
+
+    def _emit_diamond(self, function: Function, builder: IRBuilder,
+                      values: List[Value]) -> IRBuilder:
+        rng = self.rng
+        then_block = function.add_block(function.unique_name("then"))
+        else_block = function.add_block(function.unique_name("else"))
+        join_block = function.add_block(function.unique_name("join"))
+
+        condition = builder.icmp(rng.choice(_PREDICATES), self._pick_int_value(values),
+                                 Constant(I32, rng.randint(0, 16)))
+        builder.cond_br(condition, then_block, else_block)
+
+        builder.position_at_end(then_block)
+        then_values = list(values)
+        self._emit_straightline(builder, then_values, rng.randint(1, 3))
+        if rng.random() < 0.4:
+            self._emit_call(builder, then_values)
+        then_result = self._pick_int_value(then_values[len(values):] or then_values)
+        then_exit = builder.block
+        builder.br(join_block)
+
+        builder.position_at_end(else_block)
+        else_values = list(values)
+        self._emit_straightline(builder, else_values, rng.randint(1, 3))
+        else_result = self._pick_int_value(else_values[len(values):] or else_values)
+        else_exit = builder.block
+        builder.br(join_block)
+
+        builder.position_at_end(join_block)
+        phi = builder.phi(I32, [(then_result, then_exit), (else_result, else_exit)])
+        values.append(phi)
+        return builder
+
+    def _emit_loop(self, function: Function, builder: IRBuilder,
+                   values: List[Value]) -> IRBuilder:
+        rng = self.rng
+        header = function.add_block(function.unique_name("loop"))
+        body = function.add_block(function.unique_name("body"))
+        exit_block = function.add_block(function.unique_name("exit"))
+
+        trip_count = Constant(I32, rng.randint(2, 6))
+        start_value = self._pick_int_value(values)
+        preheader = builder.block
+        builder.br(header)
+
+        builder.position_at_end(header)
+        counter = builder.phi(I32, [(Constant(I32, 0), preheader)])
+        accumulator = builder.phi(I32, [(start_value, preheader)])
+        condition = builder.icmp("slt", counter, trip_count)
+        builder.cond_br(condition, body, exit_block)
+
+        builder.position_at_end(body)
+        body_values = [counter, accumulator] + [v for v in values if v.type == I32][:4]
+        self._emit_straightline(builder, body_values, rng.randint(1, 4))
+        if rng.random() < 0.35:
+            self._emit_call(builder, body_values)
+        new_accumulator = builder.add(accumulator, self._pick_int_value(body_values[2:]
+                                                                        or body_values))
+        next_counter = builder.add(counter, Constant(I32, 1))
+        self._protected.update({condition, next_counter})
+        body_exit = builder.block
+        builder.br(header)
+        counter.add_incoming(next_counter, body_exit)
+        accumulator.add_incoming(new_accumulator, body_exit)
+
+        builder.position_at_end(exit_block)
+        values.append(accumulator)
+        return builder
+
+    # ------------------------------------------------------------ mutation
+    def mutate_clone(self, template: Function, name: str, divergence: float) -> Function:
+        """Clone ``template`` and apply semantics-changing but well-typed mutations.
+
+        Besides local instruction-level mutations, a fraction of clones also
+        receives *structural* divergence (an extra diamond or loop region):
+        this is what makes the clone families behave like real similar-but-
+        not-identical functions, in particular triggering the misalignment of
+        demoted stack accesses that hurts FMSA (paper §3).
+        """
+        clone, value_map = clone_function(template, name, self.module)
+        protected = {value_map[inst] for inst in self._protected if inst in value_map}
+        self._protected.update(protected)
+        instructions = [i for i in clone.instructions()]
+        mutations = max(1, int(len(instructions) * divergence))
+        rng = self.rng
+        for _ in range(mutations):
+            target = rng.choice(instructions)
+            if target.parent is None or target in protected:
+                continue  # removed by an earlier mutation, or loop control
+            self._mutate_instruction(clone, target)
+        # Structural divergence: splice an extra region into one of the blocks.
+        structural_edits = 1 if rng.random() < min(0.9, divergence * 6) else 0
+        for _ in range(structural_edits):
+            self._insert_structural_region(clone)
+        # Occasionally append extra computation before the return.
+        if rng.random() < 0.5:
+            block = clone.blocks[-1]
+            builder = IRBuilder(block)
+            terminator = block.terminator
+            if terminator is not None:
+                builder.position_before(terminator)
+                extra_values = [a for a in clone.args if a.type == I32] or \
+                    [Constant(I32, 1)]
+                self._emit_straightline(builder, list(extra_values), rng.randint(1, 3))
+        return clone
+
+    def _insert_structural_region(self, function: Function) -> None:
+        """Insert a small diamond or loop right before a block's terminator."""
+        rng = self.rng
+        candidates = [b for b in function.blocks
+                      if b.terminator is not None
+                      and not any(i.opcode == "landingpad" for i in b.instructions)]
+        if not candidates:
+            return
+        block = rng.choice(candidates)
+        terminator = block.terminator
+        # Split the block: move the terminator to a new continuation block so
+        # the region builder can branch into fresh blocks in between.
+        continuation = function.add_block(function.unique_name("cont"))
+        block.remove_instruction(terminator)
+        continuation.append(terminator)
+        # Successor phis must now name the continuation block as predecessor.
+        for successor in continuation.successors():
+            for phi in successor.phis():
+                phi.replace_incoming_block(block, continuation)
+        builder = IRBuilder(block)
+        values: List[Value] = [a for a in function.args if a.type == I32] or \
+            [Constant(I32, rng.randint(1, 8))]
+        if rng.random() < 0.5:
+            builder = self._emit_diamond(function, builder, values)
+        else:
+            builder = self._emit_loop(function, builder, values)
+        builder.br(continuation)
+
+    def _mutate_instruction(self, function: Function, inst: Instruction) -> None:
+        rng = self.rng
+        if isinstance(inst, BinaryInst):
+            kind = rng.random()
+            if kind < 0.4:
+                # Perturb a constant operand (or force one).
+                index = 1
+                inst.set_operand(index, Constant(I32, rng.randint(1, 64)))
+            elif kind < 0.7 and inst.opcode in _SAFE_MUTATION_OPS:
+                replacement = BinaryInst(_SAFE_MUTATION_OPS[inst.opcode],
+                                         inst.lhs, inst.rhs, inst.name)
+                inst.parent.insert_before(inst, replacement)
+                inst.replace_all_uses_with(replacement)
+                inst.erase_from_parent()
+            else:
+                if inst.is_commutative():
+                    lhs, rhs = inst.lhs, inst.rhs
+                    inst.set_operand(0, rhs)
+                    inst.set_operand(1, lhs)
+        elif isinstance(inst, CmpInst):
+            inst.predicate = rng.choice([p for p in _PREDICATES if p != inst.predicate])
+        elif isinstance(inst, CallInst):
+            callee = inst.callee
+            if isinstance(callee, Function):
+                alternatives = [f for f in self._externals_with_type(callee.function_type)
+                                if f is not callee]
+                if alternatives:
+                    inst.set_operand(0, rng.choice(alternatives))
+
+    # ----------------------------------------------------------------- main
+    def _generate_main(self, functions: List[Function]) -> None:
+        main = self.module.create_function(f"{self.spec.name}_main",
+                                           FunctionType(I32, (I32,)), ["n"])
+        entry = main.add_block("entry")
+        builder = IRBuilder(entry)
+        total: Value = Constant(I32, 0)
+        callees = functions[: min(len(functions), 8)]
+        for callee in callees:
+            args = []
+            for param_type in callee.function_type.param_types:
+                args.append(main.args[0] if param_type == I32 else Constant(param_type, 1))
+            result = builder.call(callee, args)
+            if callee.return_type == I32:
+                total = builder.add(total, result)
+        builder.ret(total)
+
+
+def generate_program(spec: ProgramSpec) -> Module:
+    """Generate a synthetic program module from a specification."""
+    return WorkloadGenerator(spec).generate()
+
+
+def simple_spec(name: str, seed: int = 0, num_families: int = 3, family_size: int = 2,
+                function_size: int = 40, divergence: float = 0.08,
+                standalone_functions: int = 3,
+                exception_density: float = 0.0) -> ProgramSpec:
+    """Convenience constructor used by tests and the examples."""
+    families = [FamilySpec(size=family_size, divergence=divergence,
+                           function_size=function_size)
+                for _ in range(num_families)]
+    return ProgramSpec(name=name, seed=seed, families=families,
+                       standalone_functions=standalone_functions,
+                       exception_density=exception_density)

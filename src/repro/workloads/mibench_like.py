@@ -1,0 +1,116 @@
+"""MiBench-like synthetic suite (paper §5.3, Table 1 and Figure 18).
+
+Table 1 of the paper lists, for every MiBench program, the number of functions
+and their min/avg/max sizes just before function merging.  The synthetic
+stand-ins are parameterised directly from that table: programs with only a
+handful of functions (qsort, CRC32, dijkstra, ...) naturally offer no merging
+opportunities, while the larger programs (cjpeg/djpeg, ghostscript, typeset,
+pgp) contain clone families and do merge.
+
+Scale note: the three largest programs (ghostscript 3452 functions, typeset
+362, cjpeg/djpeg/pgp ~310-320) are scaled down by ``_SCALE_CAP`` so the whole
+suite stays interactive under CPython; the per-program ordering of merge
+counts (Table 1's FMSA vs SalSSA columns) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..ir.module import Module
+from .generator import FamilySpec, ProgramSpec, generate_program
+
+#: Upper bound on generated functions per program (scaling for CPython).
+_SCALE_CAP = 48
+
+
+@dataclass(frozen=True)
+class MiBenchSpec:
+    """Parameters of one MiBench program, taken from the paper's Table 1."""
+
+    name: str
+    paper_num_functions: int
+    min_size: int
+    avg_size: float
+    max_size: int
+    #: Fraction of functions in clone families (drives merge opportunities).
+    family_fraction: float
+    family_size: int = 2
+    divergence: float = 0.10
+    seed: int = 0
+
+    @property
+    def num_functions(self) -> int:
+        """Number of functions actually generated (paper count, capped)."""
+        return min(self.paper_num_functions, _SCALE_CAP)
+
+    def to_program_spec(self, seed_offset: int = 0) -> ProgramSpec:
+        count = self.num_functions
+        family_functions = int(round(count * self.family_fraction))
+        num_families = family_functions // max(2, self.family_size)
+        standalone = max(1, count - num_families * self.family_size)
+        # MiBench functions are small; clamp the generator size targets.
+        size = max(8, min(90, int(self.avg_size)))
+        families = [FamilySpec(size=self.family_size, divergence=self.divergence,
+                               function_size=size)
+                    for _ in range(num_families)]
+        return ProgramSpec(
+            name=self.name.replace("-", "_"),
+            seed=self.seed + seed_offset,
+            families=families,
+            standalone_functions=standalone,
+            standalone_size=size,
+            exception_density=0.0,
+            with_main=True,
+        )
+
+    def build(self, seed_offset: int = 0) -> Module:
+        return generate_program(self.to_program_spec(seed_offset))
+
+
+def _mibench(name: str, functions: int, min_size: int, avg_size: float, max_size: int,
+             family_fraction: float, family_size: int = 2, divergence: float = 0.10,
+             seed: int = 0) -> MiBenchSpec:
+    return MiBenchSpec(name, functions, min_size, avg_size, max_size,
+                       family_fraction, family_size, divergence, seed)
+
+
+#: The MiBench programs of Table 1 with their published function statistics.
+MIBENCH: List[MiBenchSpec] = [
+    _mibench("CRC32", 4, 8, 23.75, 37, 0.0, seed=1001),
+    _mibench("FFT", 7, 6, 45.43, 90, 0.0, seed=1002),
+    _mibench("adpcm_c", 3, 35, 68.33, 93, 0.0, seed=1003),
+    _mibench("adpcm_d", 3, 35, 68.33, 93, 0.0, seed=1004),
+    _mibench("basicmath", 5, 4, 60.0, 90, 0.0, seed=1005),
+    _mibench("bitcount", 19, 4, 20.58, 56, 0.35, 2, 0.08, seed=1006),
+    _mibench("blowfish_d", 8, 1, 80.0, 90, 0.25, 2, 0.10, seed=1007),
+    _mibench("blowfish_e", 8, 1, 80.0, 90, 0.25, 2, 0.10, seed=1008),
+    _mibench("cjpeg", 322, 1, 70.0, 90, 0.40, 3, 0.10, seed=1009),
+    _mibench("dijkstra", 6, 2, 31.5, 83, 0.0, seed=1010),
+    _mibench("djpeg", 310, 1, 70.0, 90, 0.42, 3, 0.10, seed=1011),
+    _mibench("ghostscript", 3452, 1, 50.36, 90, 0.45, 3, 0.08, seed=1012),
+    _mibench("gsm", 69, 1, 70.0, 90, 0.30, 2, 0.10, seed=1013),
+    _mibench("ispell", 84, 1, 70.0, 90, 0.25, 2, 0.10, seed=1014),
+    _mibench("patricia", 5, 1, 73.6, 90, 0.0, seed=1015),
+    _mibench("pgp", 310, 1, 70.0, 90, 0.30, 2, 0.10, seed=1016),
+    _mibench("qsort", 2, 11, 45.5, 80, 0.0, seed=1017),
+    _mibench("rijndael", 7, 45, 90.0, 90, 0.28, 2, 0.10, seed=1018),
+    _mibench("rsynth", 47, 1, 70.0, 90, 0.20, 2, 0.12, seed=1019),
+    _mibench("sha", 7, 12, 49.71, 90, 0.28, 2, 0.10, seed=1020),
+    _mibench("stringsearch", 10, 3, 41.0, 81, 0.20, 2, 0.10, seed=1021),
+    _mibench("susan", 19, 15, 90.0, 90, 0.21, 2, 0.10, seed=1022),
+    _mibench("typeset", 362, 1, 90.0, 90, 0.40, 3, 0.08, seed=1023),
+]
+
+
+def get_mibench(name: str) -> MiBenchSpec:
+    """Look up a MiBench program spec by name."""
+    for spec in MIBENCH:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown MiBench program {name!r}")
+
+
+def mibench_names() -> List[str]:
+    return [spec.name for spec in MIBENCH]

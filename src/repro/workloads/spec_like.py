@@ -1,0 +1,139 @@
+"""SPEC CPU 2006 / 2017 — like synthetic suites.
+
+Each benchmark of the paper's evaluation is modelled by a :class:`BenchmarkSpec`
+describing the population structure that drives function merging: how many
+functions the program has, how big they are, and how much of the program comes
+in families of similar functions.  The parameters are chosen so the suite
+reproduces the *shape* of the paper's Figure 17: C++ template-heavy programs
+(447.dealII, 510.parest_r, 483.xalancbmk, ...) have many low-divergence clone
+families and show the largest reductions, while small C programs (429.mcf,
+470.lbm, ...) offer few merging opportunities.
+
+Scale note: the real SPEC programs contain hundreds to tens of thousands of
+functions; the synthetic stand-ins are scaled down (tens of functions,
+25–90 IR instructions each) so the whole evaluation runs in minutes under
+CPython.  Relative comparisons (SalSSA vs FMSA, per-benchmark ordering) are
+preserved; absolute sizes are not meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.module import Module
+from .generator import FamilySpec, ProgramSpec, generate_program
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Population-structure description of one benchmark program."""
+
+    name: str
+    language: str  # "c" or "c++"
+    num_functions: int
+    avg_function_size: int
+    #: Fraction of functions that belong to a clone family.
+    family_fraction: float
+    #: Average family size (2 = pairs, larger = template-instantiation heavy).
+    family_size: int
+    #: How far clones diverge from their template (mutations per instruction).
+    divergence: float
+    #: Fraction of calls emitted as invoke/landingpad (C++ exception paths).
+    exception_density: float = 0.0
+    seed: int = 0
+
+    def to_program_spec(self, seed_offset: int = 0) -> ProgramSpec:
+        family_functions = int(round(self.num_functions * self.family_fraction))
+        num_families = max(0, family_functions // max(2, self.family_size))
+        standalone = max(1, self.num_functions - num_families * self.family_size)
+        families = [FamilySpec(size=self.family_size,
+                               divergence=self.divergence,
+                               function_size=self.avg_function_size)
+                    for _ in range(num_families)]
+        return ProgramSpec(
+            name=self.name.replace(".", "_"),
+            seed=self.seed + seed_offset,
+            families=families,
+            standalone_functions=standalone,
+            standalone_size=self.avg_function_size,
+            exception_density=self.exception_density,
+            with_main=True,
+        )
+
+    def build(self, seed_offset: int = 0) -> Module:
+        """Generate the synthetic module for this benchmark."""
+        return generate_program(self.to_program_spec(seed_offset))
+
+
+def _spec(name: str, language: str, num_functions: int, avg_size: int,
+          family_fraction: float, family_size: int, divergence: float,
+          exception_density: float = 0.0, seed: int = 0) -> BenchmarkSpec:
+    return BenchmarkSpec(name, language, num_functions, avg_size, family_fraction,
+                         family_size, divergence, exception_density, seed)
+
+
+#: SPEC CPU2006 C/C++ benchmarks (paper Figures 5, 17a, 20–25).
+SPEC_CPU2006: List[BenchmarkSpec] = [
+    _spec("400.perlbench", "c", 26, 55, 0.35, 2, 0.12, seed=400),
+    _spec("401.bzip2", "c", 16, 45, 0.25, 2, 0.15, seed=401),
+    _spec("403.gcc", "c", 40, 70, 0.45, 2, 0.10, seed=403),
+    _spec("429.mcf", "c", 12, 35, 0.17, 2, 0.20, seed=429),
+    _spec("433.milc", "c", 18, 45, 0.33, 2, 0.12, seed=433),
+    _spec("444.namd", "c++", 20, 65, 0.60, 4, 0.06, exception_density=0.02, seed=444),
+    _spec("445.gobmk", "c", 30, 40, 0.33, 2, 0.12, seed=445),
+    _spec("447.dealII", "c++", 30, 60, 0.80, 6, 0.04, exception_density=0.05, seed=447),
+    _spec("450.soplex", "c++", 22, 55, 0.55, 3, 0.07, exception_density=0.05, seed=450),
+    _spec("453.povray", "c++", 26, 55, 0.46, 3, 0.08, exception_density=0.03, seed=453),
+    _spec("456.hmmer", "c", 22, 55, 0.45, 3, 0.08, seed=456),
+    _spec("458.sjeng", "c", 16, 45, 0.25, 2, 0.15, seed=458),
+    _spec("462.libquantum", "c", 14, 40, 0.43, 3, 0.08, seed=462),
+    _spec("464.h264ref", "c", 28, 60, 0.36, 2, 0.10, seed=464),
+    _spec("470.lbm", "c", 10, 40, 0.20, 2, 0.20, seed=470),
+    _spec("471.omnetpp", "c++", 26, 50, 0.54, 3, 0.07, exception_density=0.05, seed=471),
+    _spec("473.astar", "c++", 14, 45, 0.29, 2, 0.12, seed=473),
+    _spec("482.sphinx3", "c", 20, 50, 0.40, 2, 0.08, seed=482),
+    _spec("483.xalancbmk", "c++", 34, 55, 0.65, 4, 0.05, exception_density=0.06, seed=483),
+]
+
+#: SPEC CPU2017 C/C++ benchmarks (paper Figure 17b).
+SPEC_CPU2017: List[BenchmarkSpec] = [
+    _spec("508.namd_r", "c++", 22, 65, 0.64, 4, 0.06, exception_density=0.02, seed=508),
+    _spec("510.parest_r", "c++", 32, 60, 0.81, 6, 0.04, exception_density=0.05, seed=510),
+    _spec("511.povray_r", "c++", 26, 55, 0.46, 3, 0.08, exception_density=0.03, seed=511),
+    _spec("526.blender_r", "c", 40, 60, 0.40, 2, 0.10, seed=526),
+    _spec("600.perlbench_s", "c", 26, 55, 0.35, 2, 0.12, seed=600),
+    _spec("602.gcc_s", "c", 40, 70, 0.45, 2, 0.10, seed=602),
+    _spec("605.mcf_s", "c", 12, 35, 0.17, 2, 0.20, seed=605),
+    _spec("619.lbm_s", "c", 10, 40, 0.20, 2, 0.22, seed=619),
+    _spec("620.omnetpp_s", "c++", 26, 50, 0.54, 3, 0.07, exception_density=0.05, seed=620),
+    _spec("623.xalancbmk_s", "c++", 34, 55, 0.65, 4, 0.05, exception_density=0.06, seed=623),
+    _spec("625.x264_s", "c", 24, 55, 0.33, 2, 0.13, seed=625),
+    _spec("631.deepsjeng_s", "c++", 16, 45, 0.25, 2, 0.15, seed=631),
+    _spec("638.imagick_s", "c", 30, 55, 0.33, 2, 0.12, seed=638),
+    _spec("641.leela_s", "c++", 18, 50, 0.56, 3, 0.07, exception_density=0.03, seed=641),
+    _spec("644.nab_s", "c", 16, 45, 0.38, 2, 0.10, seed=644),
+    _spec("657.xz_s", "c", 16, 45, 0.38, 3, 0.08, seed=657),
+]
+
+SUITES: Dict[str, List[BenchmarkSpec]] = {
+    "spec2006": SPEC_CPU2006,
+    "spec2017": SPEC_CPU2017,
+}
+
+
+def get_suite(name: str) -> List[BenchmarkSpec]:
+    """Look up a suite by name (``spec2006`` or ``spec2017``)."""
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}; known: {sorted(SUITES)}") from None
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a single benchmark spec by its paper name (e.g. ``447.dealII``)."""
+    for suite in SUITES.values():
+        for benchmark in suite:
+            if benchmark.name == name:
+                return benchmark
+    raise KeyError(f"unknown benchmark {name!r}")

@@ -1,0 +1,153 @@
+"""Tests for CFG utilities and dominator analysis."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    edges,
+    is_critical_edge,
+    postorder,
+    predecessor_map,
+    reachable_blocks,
+    reverse_postorder,
+    successors,
+)
+from repro.analysis.dominators import DominatorTree
+from repro.ir import parse_module
+
+
+DIAMOND = """
+define i32 @diamond(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  ret i32 %p
+}
+"""
+
+LOOP = """
+define i32 @loop(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i1, %latch ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  br label %latch
+latch:
+  %i1 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %i
+}
+"""
+
+UNREACHABLE = """
+define i32 @f(i32 %x) {
+entry:
+  ret i32 %x
+dead:
+  br label %dead2
+dead2:
+  ret i32 0
+}
+"""
+
+
+def blocks_of(text, name):
+    function = parse_module(text).get_function(name)
+    return function, {b.name: b for b in function.blocks}
+
+
+class TestCFG:
+    def test_successors_and_predecessors(self):
+        function, blocks = blocks_of(DIAMOND, "diamond")
+        assert set(b.name for b in successors(blocks["entry"])) == {"a", "b"}
+        preds = predecessor_map(function)
+        assert set(b.name for b in preds[blocks["join"]]) == {"a", "b"}
+        assert preds[blocks["entry"]] == []
+
+    def test_reachable_blocks_excludes_dead_code(self):
+        function, blocks = blocks_of(UNREACHABLE, "f")
+        reachable = reachable_blocks(function)
+        assert blocks["entry"] in reachable
+        assert blocks["dead"] not in reachable and blocks["dead2"] not in reachable
+
+    def test_reverse_postorder_starts_at_entry(self):
+        function, blocks = blocks_of(LOOP, "loop")
+        order = reverse_postorder(function)
+        assert order[0] is blocks["entry"]
+        # Every block appears exactly once.
+        assert len(order) == len(set(order)) == 5
+        assert set(postorder(function)) == set(order)
+        # The header precedes its loop body in RPO.
+        assert order.index(blocks["header"]) < order.index(blocks["body"])
+
+    def test_edges_and_critical_edges(self):
+        function, blocks = blocks_of(DIAMOND, "diamond")
+        all_edges = edges(function)
+        assert (blocks["entry"], blocks["a"]) in all_edges
+        assert not is_critical_edge(blocks["a"], blocks["join"])
+
+
+class TestDominators:
+    def test_diamond_dominance(self):
+        function, blocks = blocks_of(DIAMOND, "diamond")
+        domtree = DominatorTree(function)
+        assert domtree.immediate_dominator(blocks["entry"]) is None
+        assert domtree.immediate_dominator(blocks["a"]) is blocks["entry"]
+        assert domtree.immediate_dominator(blocks["join"]) is blocks["entry"]
+        assert domtree.dominates_block(blocks["entry"], blocks["join"])
+        assert not domtree.dominates_block(blocks["a"], blocks["join"])
+        assert domtree.dominates_block(blocks["a"], blocks["a"])
+
+    def test_loop_dominance(self):
+        function, blocks = blocks_of(LOOP, "loop")
+        domtree = DominatorTree(function)
+        assert domtree.immediate_dominator(blocks["body"]) is blocks["header"]
+        assert domtree.immediate_dominator(blocks["exit"]) is blocks["header"]
+        assert domtree.dominates_block(blocks["header"], blocks["latch"])
+
+    def test_instruction_level_dominance(self):
+        function, blocks = blocks_of(DIAMOND, "diamond")
+        domtree = DominatorTree(function)
+        entry_cmp = blocks["entry"].instructions[0]
+        join_phi = blocks["join"].instructions[0]
+        assert domtree.dominates(entry_cmp, join_phi)
+        assert not domtree.dominates(join_phi, entry_cmp)
+        # Within one block, order decides.
+        first, second = blocks["entry"].instructions[0], blocks["entry"].instructions[1]
+        assert domtree.dominates(first, second)
+        assert not domtree.dominates(second, first)
+
+    def test_dominance_frontier_of_diamond(self):
+        function, blocks = blocks_of(DIAMOND, "diamond")
+        domtree = DominatorTree(function)
+        frontier = domtree.dominance_frontier()
+        assert frontier[blocks["a"]] == {blocks["join"]}
+        assert frontier[blocks["b"]] == {blocks["join"]}
+        assert frontier[blocks["entry"]] == set()
+
+    def test_iterated_dominance_frontier(self):
+        function, blocks = blocks_of(LOOP, "loop")
+        domtree = DominatorTree(function)
+        idf = domtree.iterated_dominance_frontier({blocks["latch"]})
+        assert blocks["header"] in idf
+
+    def test_preorder_walk_covers_reachable(self):
+        function, blocks = blocks_of(UNREACHABLE, "f")
+        domtree = DominatorTree(function)
+        order = domtree.dominator_tree_preorder()
+        assert order == [blocks["entry"]]
+
+    def test_unreachable_blocks_not_in_tree(self):
+        function, blocks = blocks_of(UNREACHABLE, "f")
+        domtree = DominatorTree(function)
+        assert not domtree.is_reachable(blocks["dead"])
+        assert not domtree.dominates_block(blocks["dead"], blocks["entry"])

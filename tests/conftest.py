@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.ir import parse_module, run_function
+
+# The paper's motivating example (Figure 2): two similar functions, one with a
+# diamond and one with a loop, both phi-heavy.  Used across merge tests.
+MOTIVATING_EXAMPLE = """
+declare i32 @start(i32)
+declare i32 @body(i32)
+declare i32 @other(i32)
+declare i32 @end(i32)
+
+define i32 @f1(i32 %n) {
+L1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 0
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3, %L2 ], [ %x4, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+
+define i32 @f2(i32 %n) {
+L1:
+  %v1 = call i32 @start(i32 %n)
+  br label %L2
+L2:
+  %v2 = phi i32 [ %v1, %L1 ], [ %v4, %L3 ]
+  %v3 = icmp ne i32 %v2, 0
+  br i1 %v3, label %L3, label %L4
+L3:
+  %v4 = call i32 @body(i32 %v2)
+  br label %L2
+L4:
+  %v5 = call i32 @end(i32 %v2)
+  ret i32 %v5
+}
+"""
+
+#: Externals that make the motivating example terminate under interpretation.
+TERMINATING_EXTERNALS = {
+    "start": lambda n: max(0, n % 4),
+    "body": lambda x: x - 1,
+    "other": lambda x: x * 2,
+    "end": lambda x: x + 100,
+}
+
+
+@pytest.fixture
+def motivating_module():
+    """A freshly parsed copy of the paper's Figure 2 module."""
+    return parse_module(MOTIVATING_EXAMPLE)
+
+
+def observe(module, function, args, externals=TERMINATING_EXTERNALS, max_steps=200_000):
+    """Run a function and return its observable behaviour (value + call trace)."""
+    return run_function(module, function, args, externals=externals,
+                        max_steps=max_steps).observable()
+
+
+def observe_many(module, function, argument_tuples, externals=TERMINATING_EXTERNALS):
+    """Observable behaviour over a list of argument tuples."""
+    return [observe(module, function, args, externals) for args in argument_tuples]

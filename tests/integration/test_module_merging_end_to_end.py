@@ -1,0 +1,101 @@
+"""End-to-end integration tests: whole-module merging on generated programs."""
+
+import pytest
+
+from repro.ir import run_function, verify_module
+from repro.merge import FunctionMergingPass, MergePassOptions
+from repro.merge.salssa import SalSSAOptions
+from repro.transforms.mem2reg import promote_module
+from repro.transforms.simplify import simplify_module
+from repro.workloads import get_benchmark, get_mibench
+from repro.workloads.generator import generate_program, simple_spec
+
+
+def observe_module(module, names, trials=3):
+    observations = {}
+    for name in names:
+        function = module.get_function(name)
+        per_function = []
+        for value in range(trials):
+            args = tuple((value + i) % 5 for i in range(len(function.args)))
+            per_function.append(run_function(module, function, args,
+                                             max_steps=2_000_000).observable())
+        observations[name] = per_function
+    return observations
+
+
+@pytest.mark.parametrize("technique", ["salssa", "fmsa"])
+def test_whole_module_merging_preserves_every_entry_point(technique):
+    spec = simple_spec("e2e", seed=17, num_families=4, family_size=3,
+                       function_size=40, divergence=0.1, exception_density=0.05)
+    module = generate_program(spec)
+    promote_module(module)
+    simplify_module(module)
+    names = [f.name for f in module.defined_functions()]
+    before = observe_module(module, names)
+    options = MergePassOptions(technique=technique, exploration_threshold=3, verify=True)
+    report = FunctionMergingPass(options).run(module)
+    assert report.profitable_merges >= 1
+    assert verify_module(module, raise_on_error=False) == []
+    after = observe_module(module, names)
+    assert after == before
+
+
+def test_salssa_merges_at_least_as_many_as_fmsa_on_spec_benchmark():
+    results = {}
+    for technique in ("fmsa", "salssa"):
+        module = get_benchmark("444.namd").build()
+        promote_module(module)
+        simplify_module(module)
+        options = MergePassOptions(technique=technique, exploration_threshold=1)
+        results[technique] = FunctionMergingPass(options).run(module)
+    assert results["salssa"].profitable_merges >= results["fmsa"].profitable_merges
+    assert results["salssa"].reduction_percent >= 0
+
+def test_threshold_increases_reduction_monotonically_enough():
+    # Higher exploration thresholds may only help (or tie); they never lose
+    # committed merges because each function still picks its best candidate.
+    reductions = {}
+    for threshold in (1, 5):
+        module = get_benchmark("456.hmmer").build()
+        promote_module(module)
+        simplify_module(module)
+        options = MergePassOptions(technique="salssa", exploration_threshold=threshold)
+        reductions[threshold] = FunctionMergingPass(options).run(module).reduction_percent
+    assert reductions[5] >= reductions[1] - 1.0  # allow tiny cost-model noise
+
+
+def test_phi_coalescing_never_increases_module_size():
+    sizes = {}
+    for coalescing in (False, True):
+        module = get_benchmark("462.libquantum").build()
+        promote_module(module)
+        simplify_module(module)
+        options = MergePassOptions(technique="salssa", exploration_threshold=1,
+                                   salssa=SalSSAOptions(phi_coalescing=coalescing))
+        report = FunctionMergingPass(options).run(module)
+        sizes[coalescing] = report.size_after
+    assert sizes[True] <= sizes[False]
+
+
+def test_mibench_tiny_programs_do_not_merge():
+    for name in ("qsort", "CRC32", "dijkstra"):
+        module = get_mibench(name).build()
+        promote_module(module)
+        simplify_module(module)
+        report = FunctionMergingPass(MergePassOptions(technique="salssa",
+                                                      exploration_threshold=1)).run(module)
+        assert report.profitable_merges == 0
+
+
+def test_merged_functions_can_merge_again():
+    # Committed merged functions go back into the candidate pool (remerge).
+    spec = simple_spec("remerge", seed=23, num_families=1, family_size=4,
+                       function_size=35, divergence=0.03, standalone_functions=0)
+    module = generate_program(spec)
+    promote_module(module)
+    simplify_module(module)
+    options = MergePassOptions(technique="salssa", exploration_threshold=4,
+                               allow_remerge=True)
+    report = FunctionMergingPass(options).run(module)
+    assert report.profitable_merges >= 2

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The key end-to-end invariant of the whole system is *semantic equivalence*:
+whatever functions the workload generator produces, (a) printing and reparsing
+them changes nothing, (b) register demotion/promotion round trips preserve
+behaviour, and (c) merging any two compatible functions with SalSSA or FMSA
+yields a function that behaves exactly like either input, selected by ``fid``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import parse_module, print_module, run_function, verify_module
+from repro.ir.verifier import verify_function
+from repro.merge import FMSAMerger, MergeError, SalSSAMerger
+from repro.transforms.mem2reg import promote_allocas
+from repro.transforms.reg2mem import demote_function
+from repro.transforms.simplify import simplify_function
+from repro.workloads.generator import generate_program, simple_spec
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_module(seed, num_families=2, family_size=2, function_size=26,
+                 exception_density=0.0):
+    spec = simple_spec(f"prop{seed}", seed=seed, num_families=num_families,
+                       family_size=family_size, function_size=function_size,
+                       standalone_functions=1,
+                       exception_density=exception_density)
+    return generate_program(spec)
+
+
+def observe(module, function, trials=3):
+    observations = []
+    for value in range(trials):
+        args = tuple((value + index) % 7 for index in range(len(function.args)))
+        result = run_function(module, function, args, max_steps=500_000)
+        observations.append(result.observable())
+    return observations
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_modules_verify_and_roundtrip(seed):
+    module = build_module(seed)
+    assert verify_module(module, raise_on_error=False) == []
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert verify_module(reparsed, raise_on_error=False) == []
+    assert print_module(reparsed) == text
+    # Behaviour is unchanged by the textual round trip.
+    for function in module.defined_functions()[:3]:
+        other = reparsed.get_function(function.name)
+        assert observe(module, function) == observe(reparsed, other)
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_reg2mem_mem2reg_roundtrip_preserves_semantics(seed):
+    module = build_module(seed)
+    functions = module.defined_functions()[:4]
+    before = [observe(module, f) for f in functions]
+    for function in functions:
+        demote_function(function)
+    assert verify_module(module, raise_on_error=False) == []
+    middle = [observe(module, f) for f in functions]
+    for function in functions:
+        promote_allocas(function)
+        simplify_function(function)
+    assert verify_module(module, raise_on_error=False) == []
+    after = [observe(module, f) for f in functions]
+    assert before == middle == after
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       use_exceptions=st.booleans())
+def test_salssa_merge_preserves_semantics(seed, use_exceptions):
+    module = build_module(seed, exception_density=0.15 if use_exceptions else 0.0)
+    candidates = [f for f in module.defined_functions() if not f.name.endswith("_main")]
+    first, second = candidates[0], candidates[1]
+    expected_first = observe(module, first)
+    expected_second = observe(module, second)
+    merged = SalSSAMerger(module).merge(first, second)
+    assert verify_function(merged.function, raise_on_error=False) == []
+
+    def merged_observe(which, reference):
+        observations = []
+        for value in range(3):
+            original_args = tuple((value + index) % 7
+                                  for index in range(len(reference.args)))
+            args = tuple(a.value if hasattr(a, "value") else 0
+                         for a in merged.call_arguments(which, list(original_args)))
+            # call_arguments returns constants for fid and undef fillers; build
+            # the concrete argument tuple by position instead.
+            concrete = [which]
+            mapping = merged.param_map[which]
+            for merged_index in range(1, len(merged.function.args)):
+                source = None
+                for original_index, target in mapping.items():
+                    if target == merged_index:
+                        source = original_args[original_index]
+                        break
+                concrete.append(source if source is not None else 0)
+            result = run_function(module, merged.function, tuple(concrete),
+                                  max_steps=500_000)
+            observations.append(result.observable())
+        return observations
+
+    assert merged_observe(0, first) == expected_first
+    assert merged_observe(1, second) == expected_second
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_fmsa_merge_preserves_semantics(seed):
+    module = build_module(seed)
+    candidates = [f for f in module.defined_functions() if not f.name.endswith("_main")]
+    first, second = candidates[0], candidates[1]
+    expected_first = observe(module, first)
+    merged = FMSAMerger(module).merge(first, second)
+    assert verify_function(merged.function, raise_on_error=False) == []
+    observations = []
+    for value in range(3):
+        original_args = tuple((value + index) % 7 for index in range(len(first.args)))
+        concrete = [0]
+        mapping = merged.param_map[0]
+        for merged_index in range(1, len(merged.function.args)):
+            source = 0
+            for original_index, target in mapping.items():
+                if target == merged_index:
+                    source = original_args[original_index]
+                    break
+            concrete.append(source)
+        observations.append(run_function(module, merged.function, tuple(concrete),
+                                         max_steps=500_000).observable())
+    assert observations == expected_first
+
+
+@SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_alignment_is_symmetric_in_match_count(seed):
+    from repro.merge.alignment import align
+    from repro.merge.linearize import linearize
+
+    module = build_module(seed)
+    functions = module.defined_functions()
+    first, second = functions[0], functions[1]
+    forward = align(linearize(first), linearize(second))
+    backward = align(linearize(second), linearize(first))
+    assert forward.matches == backward.matches
+    assert forward.dp_cells == backward.dp_cells

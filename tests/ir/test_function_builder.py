@@ -1,0 +1,169 @@
+"""Unit tests for functions, basic blocks, modules and the IR builder."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    PhiInst,
+)
+from repro.ir.types import I1, I32, VOID
+from repro.ir.values import Constant, GlobalVariable
+
+
+def make_function(name="f", params=(I32,)):
+    return Function(FunctionType(I32, tuple(params)), name)
+
+
+class TestFunction:
+    def test_declaration_vs_definition(self):
+        f = make_function()
+        assert f.is_declaration()
+        f.add_block("entry")
+        assert not f.is_declaration()
+        assert f.entry_block.name == "entry"
+
+    def test_args_created_from_signature(self):
+        f = Function(FunctionType(I32, (I32, I1)), "g", ["x", "flag"])
+        assert [a.name for a in f.args] == ["x", "flag"]
+        assert f.args[1].type == I1
+
+    def test_unique_name_avoids_collisions(self):
+        f = make_function()
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        v = builder.add(f.args[0], Constant(I32, 1), name="t0")
+        assert f.unique_name("t") not in {"t0"}
+
+    def test_assign_names_fills_gaps(self):
+        f = make_function()
+        block = f.add_block("")
+        builder = IRBuilder(block)
+        inst = builder.add(f.args[0], Constant(I32, 1))
+        inst.name = ""
+        builder.ret(inst)
+        f.assign_names()
+        assert all(b.name for b in f.blocks)
+        assert inst.name != ""
+
+    def test_block_and_value_lookup(self):
+        f = make_function()
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        v = builder.add(f.args[0], Constant(I32, 2), name="sum")
+        assert f.block_by_name("entry") is block
+        assert f.value_by_name("sum") is v
+        assert f.value_by_name("arg0") is f.args[0]
+        assert f.value_by_name("nope") is None
+
+
+class TestBasicBlock:
+    def test_insertion_helpers(self):
+        f = make_function()
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        first = builder.add(f.args[0], Constant(I32, 1))
+        ret = builder.ret(first)
+        extra = builder.const_int(I32, 0)
+        from repro.ir.instructions import BinaryInst
+        inserted = block.insert_before_terminator(BinaryInst("add", first, extra))
+        assert block.instructions.index(inserted) == block.instructions.index(ret) - 1
+        assert block.terminator is ret
+
+    def test_phis_grouped_at_top(self):
+        f = make_function()
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        builder = IRBuilder(other)
+        builder.position_at_end(entry)
+        builder.br(other)
+        builder.position_at_end(other)
+        value = builder.add(f.args[0], Constant(I32, 1))
+        phi = builder.phi(I32, [(f.args[0], entry)])
+        assert other.instructions[0] is phi
+        assert other.phis() == [phi]
+        assert value in other.non_phi_instructions()
+
+    def test_predecessors_and_successors(self):
+        f = make_function()
+        a, b, c = f.add_block("a"), f.add_block("b"), f.add_block("c")
+        builder = IRBuilder(a)
+        builder.cond_br(Constant(I1, 1), b, c)
+        IRBuilder(b).br(c)
+        assert set(a.successors()) == {b, c}
+        assert c.predecessors() == [a, b] or c.predecessors() == [b, a]
+        assert b.predecessors() == [a]
+
+
+class TestModule:
+    def test_duplicate_function_names_rejected(self):
+        module = Module("m")
+        module.create_function("f", FunctionType(VOID, ()))
+        with pytest.raises(ValueError):
+            module.create_function("f", FunctionType(VOID, ()))
+
+    def test_declare_function_idempotent(self):
+        module = Module("m")
+        a = module.declare_function("ext", FunctionType(I32, (I32,)))
+        b = module.declare_function("ext", FunctionType(I32, (I32,)))
+        assert a is b
+
+    def test_unique_function_name(self):
+        module = Module("m")
+        module.create_function("f", FunctionType(VOID, ()))
+        assert module.unique_function_name("f") == "f.0"
+        assert module.unique_function_name("g") == "g"
+
+    def test_globals(self):
+        module = Module("m")
+        g = module.add_global(GlobalVariable(I32, "counter", Constant(I32, 0)))
+        assert module.get_global("counter") is g
+        assert g.type.pointee == I32
+
+
+class TestBuilder:
+    def test_builder_names_values_automatically(self):
+        f = make_function()
+        builder = IRBuilder(f.add_block("entry"))
+        v1 = builder.add(f.args[0], Constant(I32, 1))
+        v2 = builder.mul(v1, v1)
+        assert v1.name and v2.name and v1.name != v2.name
+
+    def test_position_before(self):
+        f = make_function()
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        a = builder.add(f.args[0], Constant(I32, 1))
+        ret = builder.ret(a)
+        builder.position_before(ret)
+        b = builder.sub(a, Constant(I32, 1))
+        assert block.instructions.index(b) == block.instructions.index(ret) - 1
+
+    def test_full_instruction_coverage(self):
+        module = Module("m")
+        callee = module.declare_function("ext", FunctionType(I32, (I32,)))
+        f = module.create_function("f", FunctionType(I32, (I32,)))
+        entry = f.add_block("entry")
+        cont = f.add_block("cont")
+        lpad = f.add_block("lpad")
+        done = f.add_block("done")
+        builder = IRBuilder(entry)
+        slot = builder.alloca(I32)
+        builder.store(f.args[0], slot)
+        loaded = builder.load(slot)
+        gep = builder.gep(slot, [builder.const_int(I32, 0)])
+        cast = builder.cast("zext", builder.icmp("eq", loaded, builder.const_int(I32, 0)), I32)
+        sel = builder.select(builder.const_bool(True), cast, loaded)
+        builder.invoke(callee, [sel], cont, lpad)
+        builder.position_at_end(lpad)
+        builder.landingpad(I32)
+        builder.br(done)
+        builder.position_at_end(cont)
+        builder.br(done)
+        builder.position_at_end(done)
+        phi = builder.phi(I32, [(loaded, cont), (builder.const_int(I32, 0), lpad)])
+        builder.ret(phi)
+        assert f.num_instructions() >= 12

@@ -1,0 +1,193 @@
+"""Unit tests for the instruction classes."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    Function,
+    FunctionType,
+    GEPInst,
+    InvokeInst,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    AllocaInst,
+    BinaryInst,
+    UnreachableInst,
+)
+from repro.ir.types import I1, I32, F64, PointerType, VOID
+from repro.ir.values import Argument, Constant
+
+
+def arg(name="a", type_=I32):
+    return Argument(type_, name)
+
+
+class TestBinaryAndCompare:
+    def test_binary_type_follows_operands(self):
+        inst = BinaryInst("add", arg(), Constant(I32, 1))
+        assert inst.type == I32
+        assert inst.opcode == "add"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryInst("frobnicate", arg(), arg())
+
+    def test_commutativity(self):
+        assert BinaryInst("add", arg(), arg()).is_commutative()
+        assert BinaryInst("xor", arg(), arg()).is_commutative()
+        assert not BinaryInst("sub", arg(), arg()).is_commutative()
+        assert not BinaryInst("shl", arg(), arg()).is_commutative()
+
+    def test_division_has_side_effects(self):
+        assert BinaryInst("sdiv", arg(), arg()).has_side_effects()
+        assert not BinaryInst("add", arg(), arg()).has_side_effects()
+
+    def test_cmp_produces_bool(self):
+        inst = CmpInst("slt", arg(), arg())
+        assert inst.type == I1
+        assert inst.opcode == "icmp"
+        assert CmpInst("olt", arg(type_=F64), arg(type_=F64)).opcode == "fcmp"
+
+    def test_cmp_equality_predicates_commutative(self):
+        assert CmpInst("eq", arg(), arg()).is_commutative()
+        assert not CmpInst("slt", arg(), arg()).is_commutative()
+
+
+class TestMemory:
+    def test_alloca_produces_pointer(self):
+        inst = AllocaInst(I32)
+        assert inst.type == PointerType(I32)
+        assert inst.allocated_type == I32
+
+    def test_load_infers_type_from_pointer(self):
+        slot = AllocaInst(I32)
+        load = LoadInst(slot)
+        assert load.type == I32
+        assert load.pointer is slot
+
+    def test_store_is_void_with_side_effects(self):
+        slot = AllocaInst(I32)
+        store = StoreInst(Constant(I32, 1), slot)
+        assert store.type == VOID
+        assert store.has_side_effects()
+
+    def test_gep_accessors(self):
+        slot = AllocaInst(I32)
+        gep = GEPInst(slot, [Constant(I32, 2)])
+        assert gep.pointer is slot
+        assert len(gep.indices) == 1
+
+
+class TestControlFlow:
+    def test_unconditional_branch(self):
+        target = BasicBlock("t")
+        br = BranchInst(target)
+        assert not br.is_conditional
+        assert br.successors() == [target]
+
+    def test_conditional_branch(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        br = BranchInst(arg("c", I1), t, f)
+        assert br.is_conditional
+        assert br.if_true is t and br.if_false is f
+        assert set(br.successors()) == {t, f}
+
+    def test_branch_arity_checked(self):
+        with pytest.raises(ValueError):
+            BranchInst(BasicBlock("a"), BasicBlock("b"))
+
+    def test_replace_successor(self):
+        t, f, new = BasicBlock("t"), BasicBlock("f"), BasicBlock("n")
+        br = BranchInst(arg("c", I1), t, f)
+        br.replace_successor(t, new)
+        assert br.if_true is new
+
+    def test_switch_cases(self):
+        default, case_block = BasicBlock("d"), BasicBlock("c")
+        sw = SwitchInst(arg(), default, [(Constant(I32, 1), case_block)])
+        assert sw.default is default
+        assert sw.cases() == [(Constant(I32, 1), case_block)]
+        sw.add_case(Constant(I32, 2), default)
+        assert len(sw.cases()) == 2
+
+    def test_return(self):
+        assert ReturnInst(None).value is None
+        assert ReturnInst(Constant(I32, 3)).value == Constant(I32, 3)
+        assert ReturnInst(None).is_terminator()
+        assert UnreachableInst().is_terminator()
+
+
+class TestCallsAndExceptions:
+    def _callee(self):
+        return Function(FunctionType(I32, (I32,)), "callee")
+
+    def test_call_return_type_from_callee(self):
+        call = CallInst(self._callee(), [Constant(I32, 1)])
+        assert call.type == I32
+        assert len(call.args) == 1
+        assert call.has_side_effects()
+
+    def test_invoke_destinations(self):
+        normal, unwind = BasicBlock("n"), BasicBlock("u")
+        invoke = InvokeInst(self._callee(), [Constant(I32, 1)], normal, unwind)
+        assert invoke.normal_dest is normal
+        assert invoke.unwind_dest is unwind
+        assert invoke.is_terminator()
+        new_unwind = BasicBlock("u2")
+        invoke.set_unwind_dest(new_unwind)
+        assert invoke.unwind_dest is new_unwind
+
+
+class TestPhiAndSelect:
+    def test_phi_incoming_management(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        v1, v2 = Constant(I32, 1), Constant(I32, 2)
+        phi = PhiInst(I32, [(v1, b1), (v2, b2)])
+        assert phi.num_incoming() == 2
+        assert phi.incoming_value_for_block(b1) is v1
+        assert phi.incoming_blocks() == [b1, b2]
+        phi.set_incoming_value_for_block(b2, v1)
+        assert phi.incoming_value_for_block(b2) is v1
+        assert phi.remove_incoming_for_block(b1)
+        assert phi.num_incoming() == 1
+        assert not phi.remove_incoming_for_block(b1)
+
+    def test_phi_replace_incoming_block(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi = PhiInst(I32, [(Constant(I32, 1), b1)])
+        phi.replace_incoming_block(b1, b2)
+        assert phi.incoming_blocks() == [b2]
+
+    def test_select_accessors(self):
+        sel = SelectInst(arg("c", I1), Constant(I32, 1), Constant(I32, 2))
+        assert sel.type == I32
+        assert sel.if_true == Constant(I32, 1)
+
+
+class TestCloning:
+    @pytest.mark.parametrize("make", [
+        lambda: BinaryInst("add", arg(), Constant(I32, 3)),
+        lambda: CmpInst("slt", arg(), Constant(I32, 3)),
+        lambda: CastInst("zext", arg(), I32),
+        lambda: AllocaInst(I32),
+        lambda: SelectInst(arg("c", I1), Constant(I32, 1), Constant(I32, 2)),
+        lambda: ReturnInst(Constant(I32, 0)),
+        lambda: UnreachableInst(),
+        lambda: PhiInst(I32, [(Constant(I32, 1), BasicBlock("b"))]),
+    ])
+    def test_clone_preserves_structure(self, make):
+        original = make()
+        copy = original.clone()
+        assert type(copy) is type(original)
+        assert copy is not original
+        assert copy.type == original.type
+        assert copy.num_operands() == original.num_operands()
+        assert list(copy.operands) == list(original.operands)

@@ -1,0 +1,270 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.ir import parse_module, run_function
+from repro.ir.interpreter import Interpreter, InterpreterError, StepLimitExceeded
+
+
+def run(text, name, args, externals=None, max_steps=100_000):
+    module = parse_module(text)
+    return run_function(module, name, args, externals=externals, max_steps=max_steps)
+
+
+class TestArithmetic:
+    def test_basic_int_ops(self):
+        text = """
+        define i32 @f(i32 %a, i32 %b) {
+        entry:
+          %s = add i32 %a, %b
+          %d = sub i32 %s, 3
+          %m = mul i32 %d, %b
+          %q = sdiv i32 %m, 2
+          ret i32 %q
+        }
+        """
+        assert run(text, "f", (10, 4)).value == ((10 + 4 - 3) * 4) // 2
+
+    def test_wrapping_matches_type_width(self):
+        text = """
+        define i8 @f(i8 %a) {
+        entry:
+          %r = add i8 %a, 100
+          ret i8 %r
+        }
+        """
+        assert run(text, "f", (100,)).value == -56  # 200 wraps in i8
+
+    def test_bitwise_and_shifts(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          %x = and i32 %a, 12
+          %y = or i32 %x, 3
+          %z = xor i32 %y, 1
+          %s = shl i32 %z, 2
+          %l = lshr i32 %s, 1
+          ret i32 %l
+        }
+        """
+        a = 10
+        expected = ((((a & 12) | 3) ^ 1) << 2) >> 1
+        assert run(text, "f", (a,)).value == expected
+
+    def test_division_by_zero_raises_guest_exception(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          %r = sdiv i32 %a, 0
+          ret i32 %r
+        }
+        """
+        result = run(text, "f", (1,))
+        assert result.raised
+
+    def test_float_ops_and_compare(self):
+        text = """
+        define i1 @f(double %a, double %b) {
+        entry:
+          %m = fmul double %a, %b
+          %c = fcmp ogt double %m, 10.0
+          ret i1 %c
+        }
+        """
+        assert run(text, "f", (3.0, 4.0)).value == 1
+        assert run(text, "f", (1.0, 2.0)).value == 0
+
+    def test_comparisons_signed_unsigned(self):
+        text = """
+        define i1 @f(i32 %a, i32 %b) {
+        entry:
+          %c = icmp ult i32 %a, %b
+          ret i1 %c
+        }
+        """
+        # -1 unsigned is a huge value, so (-1 <u 1) is false.
+        assert run(text, "f", (-1, 1)).value == 0
+
+
+class TestControlFlow:
+    def test_branches_and_phi(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          %c = icmp sgt i32 %a, 0
+          br i1 %c, label %pos, label %neg
+        pos:
+          br label %join
+        neg:
+          br label %join
+        join:
+          %r = phi i32 [ 1, %pos ], [ -1, %neg ]
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (5,)).value == 1
+        assert run(text, "f", (-5,)).value == -1
+
+    def test_loop_sums(self):
+        text = """
+        define i32 @f(i32 %n) {
+        entry:
+          br label %loop
+        loop:
+          %i = phi i32 [ 0, %entry ], [ %i1, %body ]
+          %acc = phi i32 [ 0, %entry ], [ %acc1, %body ]
+          %c = icmp slt i32 %i, %n
+          br i1 %c, label %body, label %exit
+        body:
+          %acc1 = add i32 %acc, %i
+          %i1 = add i32 %i, 1
+          br label %loop
+        exit:
+          ret i32 %acc
+        }
+        """
+        assert run(text, "f", (5,)).value == 10
+
+    def test_switch(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          switch i32 %a, label %dflt [ i32 1, label %one  i32 2, label %two ]
+        one:
+          ret i32 100
+        two:
+          ret i32 200
+        dflt:
+          ret i32 0
+        }
+        """
+        assert run(text, "f", (1,)).value == 100
+        assert run(text, "f", (2,)).value == 200
+        assert run(text, "f", (9,)).value == 0
+
+    def test_step_limit(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          br label %entry2
+        entry2:
+          br label %entry
+        }
+        """
+        with pytest.raises(StepLimitExceeded):
+            run(text, "f", (1,), max_steps=100)
+
+    def test_select(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          %c = icmp eq i32 %a, 0
+          %r = select i1 %c, i32 7, i32 9
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (0,)).value == 7
+        assert run(text, "f", (1,)).value == 9
+
+
+class TestMemoryAndCalls:
+    def test_alloca_store_load(self):
+        text = """
+        define i32 @f(i32 %a) {
+        entry:
+          %slot = alloca i32
+          store i32 %a, i32* %slot
+          %v = load i32, i32* %slot
+          %w = add i32 %v, 1
+          store i32 %w, i32* %slot
+          %r = load i32, i32* %slot
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (41,)).value == 42
+
+    def test_globals_are_memory(self):
+        text = """
+        @g = global i32 5
+        define i32 @f(i32 %a) {
+        entry:
+          %v = load i32, i32* @g
+          store i32 %a, i32* @g
+          %w = load i32, i32* @g
+          %r = add i32 %v, %w
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (10,)).value == 15
+
+    def test_internal_call(self):
+        text = """
+        define i32 @helper(i32 %x) {
+        entry:
+          %r = mul i32 %x, 3
+          ret i32 %r
+        }
+        define i32 @f(i32 %a) {
+        entry:
+          %r = call i32 @helper(i32 %a)
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (7,)).value == 21
+
+    def test_external_call_traced_and_deterministic(self):
+        text = """
+        declare i32 @ext(i32)
+        define i32 @f(i32 %a) {
+        entry:
+          %r = call i32 @ext(i32 %a)
+          ret i32 %r
+        }
+        """
+        first = run(text, "f", (3,))
+        second = run(text, "f", (3,))
+        assert first.value == second.value
+        assert first.call_trace == [("ext", (3,))]
+
+    def test_external_override(self):
+        text = """
+        declare i32 @ext(i32)
+        define i32 @f(i32 %a) {
+        entry:
+          %r = call i32 @ext(i32 %a)
+          ret i32 %r
+        }
+        """
+        assert run(text, "f", (3,), externals={"ext": lambda x: x + 1}).value == 4
+
+    def test_invoke_and_landingpad(self):
+        text = """
+        declare i32 @__raise(i32)
+        declare i32 @safe(i32)
+        define i32 @f(i32 %a, i1 %shouldraise) {
+        entry:
+          br i1 %shouldraise, label %risky, label %calm
+        risky:
+          %r1 = invoke i32 @__raise(i32 %a) to label %ok unwind label %pad
+        calm:
+          %r2 = invoke i32 @safe(i32 %a) to label %ok unwind label %pad
+        ok:
+          %good = phi i32 [ %r1, %risky ], [ %r2, %calm ]
+          ret i32 %good
+        pad:
+          %lp = landingpad i32 cleanup
+          ret i32 -1
+        }
+        """
+        raised = run(text, "f", (5, 1))
+        assert raised.value == -1 and not raised.raised
+        normal = run(text, "f", (5, 0))
+        assert normal.value != -1
+
+    def test_errors(self):
+        module = parse_module("define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n}")
+        interpreter = Interpreter(module)
+        with pytest.raises(InterpreterError):
+            interpreter.run("missing", (1,))
+        with pytest.raises(InterpreterError):
+            interpreter.run("f", ())  # wrong arity

@@ -1,0 +1,162 @@
+"""Tests for the textual printer/parser pair (round-tripping included)."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    verify_module,
+)
+from repro.ir.instructions import InvokeInst, PhiInst, SelectInst, SwitchInst
+
+from ..conftest import MOTIVATING_EXAMPLE
+
+
+FULL_COVERAGE = """
+@counter = global i32 7
+
+declare i32 @callee(i32, i32)
+declare void @sink(i32)
+
+define i32 @everything(i32 %x, double %d) {
+entry:
+  %slot = alloca i32
+  store i32 %x, i32* %slot
+  %v = load i32, i32* %slot
+  %p = getelementptr i32* %slot, i32 0
+  %sum = add i32 %v, 3
+  %neg = sub i32 0, %sum
+  %sh = shl i32 %sum, 2
+  %f = fmul double %d, 2.5
+  %c = icmp slt i32 %sum, 10
+  %fc = fcmp olt double %f, 1.0
+  %z = zext i1 %c to i32
+  %sel = select i1 %c, i32 %z, i32 %sum
+  %g = load i32, i32* @counter
+  br i1 %c, label %then, label %other
+then:
+  %r1 = call i32 @callee(i32 %sel, i32 %g)
+  call void @sink(i32 %r1)
+  br label %join
+other:
+  switch i32 %sum, label %join [ i32 1, label %case1  i32 2, label %join ]
+case1:
+  %r2 = invoke i32 @callee(i32 %sum, i32 1) to label %join unwind label %lp
+lp:
+  %pad = landingpad i32 cleanup
+  br label %join
+join:
+  %phi = phi i32 [ %r1, %then ], [ 0, %other ], [ %r2, %case1 ], [ %pad, %lp ]
+  ret i32 %phi
+}
+
+define void @empty_return() {
+entry:
+  ret void
+}
+"""
+
+
+class TestParsing:
+    def test_parse_motivating_example(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        assert module.get_function("f1") is not None
+        assert module.get_function("f2") is not None
+        assert len(module.declarations()) == 4
+        verify_module(module)
+
+    def test_parse_all_instruction_kinds(self):
+        module = parse_module(FULL_COVERAGE)
+        verify_module(module)
+        f = module.get_function("everything")
+        opcodes = {inst.opcode for inst in f.instructions()}
+        assert {"alloca", "store", "load", "getelementptr", "add", "icmp", "fcmp",
+                "zext", "select", "br", "switch", "invoke", "landingpad", "phi",
+                "call", "ret", "shl", "fmul"} <= opcodes
+
+    def test_forward_references_between_functions(self):
+        text = """
+        define i32 @a(i32 %x) {
+        entry:
+          %r = call i32 @b(i32 %x)
+          ret i32 %r
+        }
+        define i32 @b(i32 %x) {
+        entry:
+          ret i32 %x
+        }
+        """
+        module = parse_module(text)
+        assert module.get_function("a") is not None
+
+    def test_parse_function_into_existing_module(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        new = parse_function("""
+        define i32 @f3(i32 %n) {
+        entry:
+          %r = call i32 @start(i32 %n)
+          ret i32 %r
+        }
+        """, module)
+        assert new.name == "f3"
+        assert module.get_function("f3") is new
+        # The call resolves against the existing declaration.
+        call = next(iter(new.instructions()))
+        assert call.callee is module.get_function("start")
+
+    def test_global_parsing(self):
+        module = parse_module(FULL_COVERAGE)
+        counter = module.get_global("counter")
+        assert counter is not None
+        assert counter.initializer.value == 7
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_module("define i32 @f( {")
+        with pytest.raises(ParseError):
+            parse_module("""
+            define i32 @f(i32 %x) {
+            entry:
+              %r = call i32 @missing(i32 %x)
+              ret i32 %r
+            }
+            """)
+        with pytest.raises(ParseError):
+            parse_module("""
+            define i32 @f(i32 %x) {
+            entry:
+              %r = add i32 %undefined_value, 1
+              ret i32 %r
+            }
+            """)
+        with pytest.raises(ParseError):
+            parse_function("")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", [MOTIVATING_EXAMPLE, FULL_COVERAGE])
+    def test_print_parse_print_stable(self, source):
+        module = parse_module(source)
+        text_once = print_module(module)
+        module_again = parse_module(text_once)
+        assert print_module(module_again) == text_once
+        verify_module(module_again)
+
+    def test_printer_renders_every_instruction(self):
+        module = parse_module(FULL_COVERAGE)
+        text = print_function(module.get_function("everything"))
+        for token in ("alloca i32", "store i32", "load i32", "getelementptr",
+                      "icmp slt", "fcmp olt", "zext", "select i1", "switch i32",
+                      "invoke i32", "landingpad", "phi i32", "ret i32"):
+            assert token in text
+
+    def test_roundtrip_preserves_structure(self):
+        module = parse_module(FULL_COVERAGE)
+        original = module.get_function("everything")
+        reparsed = parse_module(print_module(module)).get_function("everything")
+        assert reparsed.num_instructions() == original.num_instructions()
+        assert len(reparsed.blocks) == len(original.blocks)
+        assert [b.name for b in reparsed.blocks] == [b.name for b in original.blocks]

@@ -1,0 +1,111 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    I1,
+    I32,
+    I64,
+    LABEL,
+    VOID,
+    parse_type,
+    pointer_to,
+)
+
+
+class TestTypeEquality:
+    def test_int_types_compare_structurally(self):
+        assert IntType(32) == I32
+        assert IntType(32) != IntType(64)
+
+    def test_pointer_types_compare_by_pointee(self):
+        assert pointer_to(I32) == PointerType(I32)
+        assert pointer_to(I32) != pointer_to(I64)
+
+    def test_function_types(self):
+        a = FunctionType(I32, (I32, I64))
+        b = FunctionType(I32, (I32, I64))
+        assert a == b
+        assert a != FunctionType(I32, (I64, I32))
+
+    def test_types_are_hashable(self):
+        mapping = {I32: "a", pointer_to(I32): "b", FunctionType(VOID, ()): "c"}
+        assert mapping[IntType(32)] == "a"
+        assert mapping[PointerType(IntType(32))] == "b"
+
+    def test_struct_and_array(self):
+        s = StructType((I32, FloatType(64)))
+        assert str(s) == "{i32, double}"
+        a = ArrayType(I32, 4)
+        assert str(a) == "[4 x i32]"
+        assert a.length == 4
+
+
+class TestPredicates:
+    def test_basic_predicates(self):
+        assert I1.is_bool()
+        assert I32.is_integer() and not I32.is_bool()
+        assert VOID.is_void()
+        assert LABEL.is_label()
+        assert pointer_to(I32).is_pointer()
+        assert FloatType(64).is_float()
+
+    def test_first_class(self):
+        assert I32.is_first_class()
+        assert not VOID.is_first_class()
+        assert not LABEL.is_first_class()
+        assert not FunctionType(I32, ()).is_first_class()
+
+
+class TestIntSemantics:
+    def test_wrap_signed(self):
+        assert IntType(8).wrap(130) == -126
+        assert IntType(8).wrap(-130) == 126
+        assert IntType(32).wrap(2**31) == -(2**31)
+
+    def test_to_unsigned(self):
+        assert IntType(8).to_unsigned(-1) == 255
+        assert IntType(16).to_unsigned(-2) == 65534
+
+    def test_bounds(self):
+        assert IntType(8).max_value == 127
+        assert IntType(8).min_value == -128
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            FloatType(13)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("text,expected", [
+        ("i1", IntType(1)),
+        ("i32", I32),
+        ("i64", I64),
+        ("double", FloatType(64)),
+        ("float", FloatType(32)),
+        ("void", VOID),
+        ("label", LABEL),
+        ("i32*", pointer_to(I32)),
+        ("i8**", PointerType(PointerType(IntType(8)))),
+        ("[4 x i32]", ArrayType(I32, 4)),
+        ("{i32, double}", StructType((I32, FloatType(64)))),
+    ])
+    def test_roundtrip(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_print_parse_roundtrip(self):
+        for type_ in (I32, pointer_to(I64), ArrayType(IntType(8), 16),
+                      StructType((I32, I32))):
+            assert parse_type(str(type_)) == type_
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("banana")

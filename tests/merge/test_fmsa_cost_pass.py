@@ -1,0 +1,186 @@
+"""Tests for the FMSA baseline, the cost model and the module-level pass."""
+
+import pytest
+
+from repro.analysis.size_model import ARM_THUMB, X86_64
+from repro.ir import parse_module, verify_function, verify_module
+from repro.merge import (
+    CostModel,
+    FMSAMerger,
+    FunctionMergingPass,
+    MergePassOptions,
+    SalSSAMerger,
+)
+from repro.merge.pass_manager import replace_with_thunk
+
+from ..conftest import MOTIVATING_EXAMPLE, observe_many
+
+
+EXTRA_CLONE = """
+define i32 @f3(i32 %n) {
+L1:
+  %x1 = call i32 @start(i32 %n)
+  %x2 = icmp slt i32 %x1, 5
+  br i1 %x2, label %L2, label %L3
+L2:
+  %x3 = call i32 @body(i32 %x1)
+  br label %L4
+L3:
+  %x4 = call i32 @other(i32 %x1)
+  br label %L4
+L4:
+  %x5 = phi i32 [ %x3, %L2 ], [ %x4, %L3 ]
+  %x6 = call i32 @end(i32 %x5)
+  ret i32 %x6
+}
+"""
+
+
+class TestFMSA:
+    def test_fmsa_merge_is_correct(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        args1 = [(i,) for i in range(-2, 3)]
+        args2 = [(i,) for i in range(0, 4)]
+        expected1 = observe_many(module, "f1", args1)
+        expected2 = observe_many(module, "f2", args2)
+        merged = FMSAMerger(module).merge(module.get_function("f1"),
+                                          module.get_function("f2"))
+        assert verify_function(merged.function, raise_on_error=False) == []
+        assert observe_many(module, merged.function, [(0,) + a for a in args1]) == expected1
+        assert observe_many(module, merged.function, [(1,) + a for a in args2]) == expected2
+
+    def test_fmsa_aligns_longer_sequences_than_salssa(self):
+        # Register demotion lengthens what FMSA has to align — the root cause
+        # of its higher compile time and memory (paper §3, Figures 22-24).
+        module = parse_module(MOTIVATING_EXAMPLE)
+        salssa = SalSSAMerger(module).merge(module.get_function("f1"),
+                                            module.get_function("f2"))
+        module2 = parse_module(MOTIVATING_EXAMPLE)
+        fmsa = FMSAMerger(module2).merge(module2.get_function("f1"),
+                                         module2.get_function("f2"))
+        assert fmsa.stats.alignment_length_first > salssa.stats.alignment_length_first
+        assert fmsa.stats.alignment_length_second > salssa.stats.alignment_length_second
+        assert fmsa.stats.alignment_dp_cells > 2 * salssa.stats.alignment_dp_cells
+
+    def test_fmsa_output_not_smaller_than_salssa(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        salssa = SalSSAMerger(module).merge(module.get_function("f1"),
+                                            module.get_function("f2"))
+        module2 = parse_module(MOTIVATING_EXAMPLE)
+        fmsa = FMSAMerger(module2).merge(module2.get_function("f1"),
+                                         module2.get_function("f2"))
+        assert fmsa.function.num_instructions() >= salssa.function.num_instructions()
+
+    def test_fmsa_residue_roundtrip_helpers(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        sizes = FMSAMerger.demote_inputs_in_place(module)
+        assert all(f.num_instructions() >= size for f, size in sizes.items())
+        FMSAMerger.cleanup_inputs_in_place(module)
+        verify_module(module)
+        for function, size in sizes.items():
+            assert function.num_instructions() == size
+
+
+class TestCostModel:
+    def test_profitable_when_merged_is_small(self):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        f1, f3 = module.get_function("f1"), module.get_function("f3")
+        merged = SalSSAMerger(module).merge(f1, f3)
+        decision = CostModel(size_model=X86_64).evaluate(f1, f3, merged.function)
+        assert decision.profitable
+        assert decision.benefit > 0
+
+    def test_unprofitable_when_merged_is_large(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        f1, f2 = module.get_function("f1"), module.get_function("f2")
+        merged = SalSSAMerger(module).merge(f1, f2)
+        decision = CostModel(size_model=X86_64).evaluate(f1, f2, merged.function)
+        # f1/f2 are too dissimilar for the merge to pay for the thunks.
+        assert decision.merged_size + decision.overhead > decision.original_size - 1
+        assert not decision.profitable or decision.benefit <= decision.original_size
+
+    def test_explicit_original_sizes_respected(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        f1, f2 = module.get_function("f1"), module.get_function("f2")
+        merged = SalSSAMerger(module).merge(f1, f2)
+        model = CostModel(size_model=X86_64)
+        inflated = model.evaluate(f1, f2, merged.function, size_a=10_000, size_b=10_000)
+        assert inflated.profitable and inflated.original_size == 20_000
+
+    def test_thunk_overhead_counted(self):
+        model = CostModel(size_model=ARM_THUMB, thunk_overhead=100)
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        f1, f3 = module.get_function("f1"), module.get_function("f3")
+        merged = SalSSAMerger(module).merge(f1, f3)
+        decision = model.evaluate(f1, f3, merged.function)
+        assert decision.overhead == 200
+        assert not decision.profitable
+
+
+class TestFunctionMergingPass:
+    @pytest.mark.parametrize("technique", ["salssa", "fmsa"])
+    def test_pass_preserves_module_semantics(self, technique):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        args = [(i,) for i in range(0, 3)]
+        before = {name: observe_many(module, name, args) for name in ("f1", "f2", "f3")}
+        options = MergePassOptions(technique=technique, exploration_threshold=5, verify=True)
+        report = FunctionMergingPass(options).run(module)
+        assert report.attempts >= 2
+        after = {name: observe_many(module, name, args) for name in ("f1", "f2", "f3")}
+        assert after == before
+        verify_module(module)
+
+    def test_pass_commits_profitable_clone_merge(self):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        options = MergePassOptions(technique="salssa", exploration_threshold=5)
+        report = FunctionMergingPass(options).run(module)
+        assert report.profitable_merges >= 1
+        assert report.size_after < report.size_before
+        assert report.reduction_percent > 0
+        committed = report.committed_records
+        assert committed and {committed[0].first, committed[0].second} == {"f1", "f3"}
+        # The originals became thunks.
+        assert module.get_function("f1").num_instructions() == 2
+        assert module.get_function("f3").num_instructions() == 2
+
+    def test_unprofitable_candidates_are_discarded(self):
+        module = parse_module(MOTIVATING_EXAMPLE)  # only f1/f2: no profitable merge
+        before_names = {f.name for f in module.functions}
+        report = FunctionMergingPass(MergePassOptions(technique="salssa",
+                                                      exploration_threshold=5)).run(module)
+        assert report.profitable_merges == 0
+        assert {f.name for f in module.functions} == before_names
+        assert report.size_after == report.size_before
+
+    def test_exploration_threshold_bounds_attempts(self):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        low = FunctionMergingPass(MergePassOptions(technique="salssa",
+                                                   exploration_threshold=1)).run(module)
+        module2 = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        high = FunctionMergingPass(MergePassOptions(technique="salssa",
+                                                    exploration_threshold=10)).run(module2)
+        assert low.attempts <= high.attempts
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionMergingPass(MergePassOptions(technique="magic"))
+
+    def test_report_accounting_consistent(self):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        report = FunctionMergingPass(MergePassOptions(technique="salssa",
+                                                      exploration_threshold=3)).run(module)
+        assert len(report.records) == report.attempts
+        assert len(report.committed_records) == report.profitable_merges
+        assert report.total_seconds >= report.alignment_seconds
+        assert report.peak_alignment_cells <= report.total_alignment_cells
+
+    def test_replace_with_thunk_preserves_calls(self):
+        module = parse_module(MOTIVATING_EXAMPLE + EXTRA_CLONE)
+        f1, f3 = module.get_function("f1"), module.get_function("f3")
+        args = [(i,) for i in range(0, 3)]
+        expected = observe_many(module, "f1", args)
+        merged = SalSSAMerger(module).merge(f1, f3)
+        replace_with_thunk(merged, 0, f1)
+        replace_with_thunk(merged, 1, f3)
+        assert observe_many(module, "f1", args) == expected
+        verify_module(module)

@@ -1,0 +1,181 @@
+"""Finer-grained tests of the SalSSA merge internals: block maps, chaining,
+switch merging, coalescing plans and statistics plumbing."""
+
+import pytest
+
+from repro.ir import parse_module, verify_function
+from repro.ir.instructions import PhiInst, SwitchInst
+from repro.merge import SalSSAMerger, SalSSAOptions
+from repro.merge.salssa.phi_coalescing import exclusive_side, plan_coalescing
+
+from ..conftest import observe_many
+
+
+class TestSwitchAndReturnMerging:
+    SWITCHY = """
+    declare i32 @ext(i32)
+    define i32 @a(i32 %x) {
+    entry:
+      switch i32 %x, label %dflt [ i32 1, label %one  i32 2, label %two ]
+    one:
+      ret i32 10
+    two:
+      ret i32 20
+    dflt:
+      %r = call i32 @ext(i32 %x)
+      ret i32 %r
+    }
+    define i32 @b(i32 %x) {
+    entry:
+      switch i32 %x, label %dflt [ i32 1, label %one  i32 2, label %two ]
+    one:
+      ret i32 11
+    two:
+      ret i32 22
+    dflt:
+      %r = call i32 @ext(i32 %x)
+      ret i32 %r
+    }
+    """
+
+    def test_switches_merge_and_behave(self):
+        module = parse_module(self.SWITCHY)
+        expected_a = observe_many(module, "a", [(1,), (2,), (9,)],
+                                  externals={"ext": lambda x: x * 5})
+        expected_b = observe_many(module, "b", [(1,), (2,), (9,)],
+                                  externals={"ext": lambda x: x * 5})
+        merged = SalSSAMerger(module).merge(module.get_function("a"),
+                                            module.get_function("b"))
+        assert verify_function(merged.function, raise_on_error=False) == []
+        switches = [i for i in merged.function.instructions() if isinstance(i, SwitchInst)]
+        assert len(switches) == 1
+        got_a = observe_many(module, merged.function, [(0, 1), (0, 2), (0, 9)],
+                             externals={"ext": lambda x: x * 5})
+        got_b = observe_many(module, merged.function, [(1, 1), (1, 2), (1, 9)],
+                             externals={"ext": lambda x: x * 5})
+        assert got_a == expected_a and got_b == expected_b
+
+
+class TestMergeBookkeeping:
+    PAIR = """
+    declare i32 @ext(i32)
+    define i32 @a(i32 %x) {
+    entry:
+      %c = icmp sgt i32 %x, 0
+      br i1 %c, label %work, label %done
+    work:
+      %v = mul i32 %x, 3
+      br label %done
+    done:
+      %p = phi i32 [ %v, %work ], [ 0, %entry ]
+      ret i32 %p
+    }
+    define i32 @b(i32 %x) {
+    entry:
+      %c = icmp sgt i32 %x, 5
+      br i1 %c, label %work, label %done
+    work:
+      %w = add i32 %x, 7
+      br label %done
+    done:
+      %p = phi i32 [ %w, %work ], [ 0, %entry ]
+      ret i32 %p
+    }
+    """
+
+    def merged(self, **options):
+        module = parse_module(self.PAIR)
+        merger = SalSSAMerger(module, SalSSAOptions(**options) if options else None)
+        return module, merger.merge(module.get_function("a"), module.get_function("b"))
+
+    def test_stats_are_internally_consistent(self):
+        _, merged = self.merged()
+        stats = merged.stats
+        assert stats.matched_labels <= min(stats.alignment_length_first,
+                                           stats.alignment_length_second)
+        assert stats.matched_instructions > 0
+        assert stats.created_blocks >= stats.matched_labels
+        assert stats.alignment_dp_cells == \
+            (stats.alignment_length_first + 1) * (stats.alignment_length_second + 1)
+        assert stats.codegen_seconds >= 0.0
+
+    def test_phis_copied_not_merged(self):
+        # Phi-nodes travel with their label and are never merged by alignment:
+        # the merged function keeps (at least) one phi per input phi unless
+        # coalescing/simplification proves them redundant.
+        module, merged = self.merged(phi_coalescing=False, run_simplification=False)
+        phis = [i for i in merged.function.instructions() if isinstance(i, PhiInst)]
+        assert len(phis) >= 2
+
+    def test_behavioural_equivalence(self):
+        module, merged = self.merged()
+        expected_a = observe_many(module, "a", [(i,) for i in (-1, 3, 8)], externals={})
+        expected_b = observe_many(module, "b", [(i,) for i in (-1, 3, 8)], externals={})
+        got_a = observe_many(module, merged.function, [(0, i) for i in (-1, 3, 8)],
+                             externals={})
+        got_b = observe_many(module, merged.function, [(1, i) for i in (-1, 3, 8)],
+                             externals={})
+        assert got_a == expected_a and got_b == expected_b
+
+    def test_merged_function_registered_in_module(self):
+        module, merged = self.merged()
+        assert module.get_function(merged.function.name) is merged.function
+        assert merged.first.name == "a" and merged.second.name == "b"
+
+
+class TestCoalescingPlan:
+    def test_plan_pairs_only_cross_function_definitions(self):
+        module = parse_module("""
+        define i32 @f(i32 %x, i1 %fid) {
+        entry:
+          br i1 %fid, label %left, label %right
+        left:
+          %v1 = add i32 %x, 1
+          %v3 = add i32 %x, 2
+          br label %join
+        right:
+          %v2 = mul i32 %x, 3
+          br label %join
+        join:
+          %s1 = select i1 %fid, i32 %v1, i32 %v2
+          %s2 = select i1 %fid, i32 %v3, i32 %v2
+          %r = add i32 %s1, %s2
+          ret i32 %r
+        }
+        """)
+        function = module.get_function("f")
+        blocks = {b.name: b for b in function.blocks}
+        block_origin = {blocks["left"]: {0: blocks["left"]},
+                        blocks["right"]: {1: blocks["right"]},
+                        blocks["join"]: {0: blocks["join"], 1: blocks["join"]},
+                        blocks["entry"]: {}}
+        v1 = function.value_by_name("v1")
+        v2 = function.value_by_name("v2")
+        v3 = function.value_by_name("v3")
+        assert exclusive_side(v1, block_origin) == 0
+        assert exclusive_side(v2, block_origin) == 1
+        plan = plan_coalescing([v1, v2, v3], block_origin)
+        assert plan.coalesced_count == 1
+        (pair,) = plan.pairs
+        assert {pair[0], pair[1]} <= {v1, v2, v3}
+        assert set(pair) & {v2}  # the single f2-side value is in the pair
+        assert len(plan.singletons) == 1
+
+    def test_plan_disabled(self):
+        plan = plan_coalescing([], {}, enable=False)
+        assert plan.pairs == [] and plan.singletons == []
+
+    def test_shared_definitions_become_singletons(self):
+        module = parse_module("""
+        define i32 @f(i32 %x) {
+        entry:
+          %v = add i32 %x, 1
+          ret i32 %v
+        }
+        """)
+        function = module.get_function("f")
+        v = function.value_by_name("v")
+        block_origin = {function.entry_block: {0: function.entry_block,
+                                               1: function.entry_block}}
+        plan = plan_coalescing([v], block_origin)
+        assert plan.pairs == [] and plan.singletons == [v]

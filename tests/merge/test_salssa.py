@@ -1,0 +1,290 @@
+"""Tests for the SalSSA merger — the paper's core contribution."""
+
+import pytest
+
+from repro.ir import parse_module, verify_function
+from repro.ir.instructions import (
+    BinaryInst,
+    LandingPadInst,
+    PhiInst,
+    SelectInst,
+)
+from repro.merge import MergeError, SalSSAMerger, SalSSAOptions
+
+from ..conftest import MOTIVATING_EXAMPLE, TERMINATING_EXTERNALS, observe_many
+
+
+def merge_motivating(options=None):
+    module = parse_module(MOTIVATING_EXAMPLE)
+    merger = SalSSAMerger(module, options)
+    merged = merger.merge(module.get_function("f1"), module.get_function("f2"))
+    return module, merged
+
+
+class TestMotivatingExample:
+    def test_merged_function_is_valid_ssa(self):
+        module, merged = merge_motivating()
+        assert verify_function(merged.function, raise_on_error=False) == []
+
+    def test_merged_function_preserves_both_behaviours(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        args1 = [(i,) for i in range(-3, 4)]
+        args2 = [(i,) for i in range(0, 4)]
+        expected1 = observe_many(module, "f1", args1)
+        expected2 = observe_many(module, "f2", args2)
+        merged = SalSSAMerger(module).merge(module.get_function("f1"),
+                                            module.get_function("f2"))
+        got1 = observe_many(module, merged.function, [(0,) + a for a in args1])
+        got2 = observe_many(module, merged.function, [(1,) + a for a in args2])
+        assert got1 == expected1
+        assert got2 == expected2
+
+    def test_no_register_demotion_artifacts(self):
+        # SalSSA works directly on the SSA form: the merged function contains
+        # no stack traffic that was not present in the inputs.
+        module, merged = merge_motivating()
+        opcodes = {i.opcode for i in merged.function.instructions()}
+        assert "alloca" not in opcodes
+        assert "load" not in opcodes
+        assert "store" not in opcodes
+
+    def test_merged_smaller_than_fmsa_style_output(self):
+        # On the motivating example the paper reports FMSA exploding to ~50
+        # instructions; SalSSA must stay well below the demoted-merge size.
+        module, merged = merge_motivating()
+        total_inputs = (module.get_function("f1").num_instructions()
+                        + module.get_function("f2").num_instructions())
+        assert merged.function.num_instructions() <= total_inputs + 5
+
+    def test_function_identifier_is_first_parameter(self):
+        module, merged = merge_motivating()
+        assert merged.function.args[0].name == "fid"
+        assert merged.function.args[0].type.bits == 1
+
+    def test_alignment_statistics_reported(self):
+        module, merged = merge_motivating()
+        stats = merged.stats
+        assert stats.matched_instructions > 0
+        assert stats.alignment_length_first == 13  # 4 labels + 9 non-phi insts
+        assert stats.alignment_length_second == 12
+        assert stats.alignment_dp_cells == 14 * 13
+
+    def test_parameters_merged_by_type(self):
+        module, merged = merge_motivating()
+        # Both inputs take one i32, so the merged function has fid + one i32.
+        assert len(merged.function.args) == 2
+        assert merged.param_map[0] == {0: 1}
+        assert merged.param_map[1] == {0: 1}
+
+    def test_call_arguments_helper(self):
+        module, merged = merge_motivating()
+        from repro.ir.values import Constant
+        from repro.ir.types import I32
+        args = merged.call_arguments(1, [Constant(I32, 42)])
+        assert args[0].value == 1
+        assert args[1].value == 42
+
+
+class TestOptionsAndAblations:
+    def test_phi_coalescing_reduces_or_equals_size(self):
+        _, with_coalescing = merge_motivating(SalSSAOptions(phi_coalescing=True))
+        _, without_coalescing = merge_motivating(SalSSAOptions(phi_coalescing=False))
+        assert with_coalescing.function.num_instructions() <= \
+            without_coalescing.function.num_instructions()
+        assert with_coalescing.stats.coalesced_pairs >= 1
+        assert without_coalescing.stats.coalesced_pairs == 0
+
+    def test_nopc_output_still_correct(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        merged = SalSSAMerger(module, SalSSAOptions(phi_coalescing=False)).merge(
+            module.get_function("f1"), module.get_function("f2"))
+        assert verify_function(merged.function, raise_on_error=False) == []
+        args1 = [(0, i) for i in range(-2, 3)]
+        expected = observe_many(module, "f1", [(i,) for i in range(-2, 3)])
+        assert observe_many(module, merged.function, args1) == expected
+
+    def test_simplification_can_be_disabled(self):
+        _, raw = merge_motivating(SalSSAOptions(run_simplification=False))
+        _, cleaned = merge_motivating(SalSSAOptions(run_simplification=True))
+        assert raw.function.num_instructions() >= cleaned.function.num_instructions()
+
+    def test_verify_option(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        merged = SalSSAMerger(module, SalSSAOptions(verify_result=True)).merge(
+            module.get_function("f1"), module.get_function("f2"))
+        assert merged.function is not None
+
+
+class TestSpecificMechanisms:
+    def test_operand_selection_on_fid(self):
+        module = parse_module("""
+        declare i32 @ext(i32)
+        define i32 @a(i32 %x) {
+        entry:
+          %r = call i32 @ext(i32 %x)
+          %s = add i32 %r, 1
+          ret i32 %s
+        }
+        define i32 @b(i32 %x) {
+        entry:
+          %r = call i32 @ext(i32 %x)
+          %s = add i32 %r, 7
+          ret i32 %s
+        }
+        """)
+        merged = SalSSAMerger(module).merge(module.get_function("a"),
+                                            module.get_function("b"))
+        selects = [i for i in merged.function.instructions() if isinstance(i, SelectInst)]
+        assert len(selects) == 1
+        assert selects[0].condition is merged.function.args[0]
+        assert observe_many(module, merged.function, [(0, 5)], externals={"ext": lambda x: x}) == \
+            observe_many(module, "a", [(5,)], externals={"ext": lambda x: x})
+
+    def test_commutative_operand_reordering_avoids_select(self):
+        module = parse_module("""
+        define i32 @a(i32 %x, i32 %y) {
+        entry:
+          %r = add i32 %x, %y
+          ret i32 %r
+        }
+        define i32 @b(i32 %x, i32 %y) {
+        entry:
+          %r = add i32 %y, %x
+          ret i32 %r
+        }
+        """)
+        merged = SalSSAMerger(module).merge(module.get_function("a"),
+                                            module.get_function("b"))
+        assert merged.stats.reordered_operands == 1
+        assert merged.stats.operand_selects == 0
+        assert not any(isinstance(i, SelectInst) for i in merged.function.instructions())
+
+    def test_reordering_can_be_disabled(self):
+        module = parse_module("""
+        define i32 @a(i32 %x, i32 %y) {
+        entry:
+          %r = add i32 %x, %y
+          ret i32 %r
+        }
+        define i32 @b(i32 %x, i32 %y) {
+        entry:
+          %r = add i32 %y, %x
+          ret i32 %r
+        }
+        """)
+        merged = SalSSAMerger(module, SalSSAOptions(operand_reordering=False)).merge(
+            module.get_function("a"), module.get_function("b"))
+        assert merged.stats.reordered_operands == 0
+        assert merged.stats.operand_selects >= 1
+
+    def test_xor_branch_folding_for_swapped_targets(self):
+        module = parse_module("""
+        declare i32 @ext(i32)
+        define i32 @a(i32 %x) {
+        entry:
+          %c = icmp eq i32 %x, 0
+          br i1 %c, label %left, label %right
+        left:
+          %l = call i32 @ext(i32 1)
+          ret i32 %l
+        right:
+          %r = call i32 @ext(i32 2)
+          ret i32 %r
+        }
+        define i32 @b(i32 %x) {
+        entry:
+          %c = icmp eq i32 %x, 0
+          br i1 %c, label %right, label %left
+        left:
+          %l = call i32 @ext(i32 1)
+          ret i32 %l
+        right:
+          %r = call i32 @ext(i32 2)
+          ret i32 %r
+        }
+        """)
+        functions = (module.get_function("a"), module.get_function("b"))
+        expected_a = observe_many(module, "a", [(0,), (1,)], externals={"ext": lambda x: x})
+        expected_b = observe_many(module, "b", [(0,), (1,)], externals={"ext": lambda x: x})
+        merged = SalSSAMerger(module).merge(*functions)
+        assert merged.stats.xor_branch_folds == 1
+        assert merged.stats.label_selection_blocks == 0
+        xor_count = sum(1 for i in merged.function.instructions()
+                        if isinstance(i, BinaryInst) and i.opcode == "xor")
+        assert xor_count == 1
+        assert observe_many(module, merged.function, [(0, 0), (0, 1)],
+                            externals={"ext": lambda x: x}) == expected_a
+        assert observe_many(module, merged.function, [(1, 0), (1, 1)],
+                            externals={"ext": lambda x: x}) == expected_b
+
+    def test_invoke_merging_creates_intermediate_landing_block(self):
+        module = parse_module("""
+        declare i32 @ext(i32)
+        define i32 @a(i32 %x) {
+        entry:
+          %r = invoke i32 @ext(i32 %x) to label %ok unwind label %pad
+        ok:
+          ret i32 %r
+        pad:
+          %lp = landingpad i32 cleanup
+          ret i32 -1
+        }
+        define i32 @b(i32 %x) {
+        entry:
+          %r = invoke i32 @ext(i32 %x) to label %ok unwind label %pad
+        ok:
+          ret i32 %r
+        pad:
+          %lp = landingpad i32 cleanup
+          ret i32 -2
+        }
+        """)
+        merged = SalSSAMerger(module).merge(module.get_function("a"),
+                                            module.get_function("b"))
+        assert merged.stats.landing_blocks == 1
+        assert verify_function(merged.function, raise_on_error=False) == []
+        # Normal path behaviour is preserved for both identities.
+        assert observe_many(module, merged.function, [(0, 3)],
+                            externals={"ext": lambda x: x + 1}) == \
+            observe_many(module, "a", [(3,)], externals={"ext": lambda x: x + 1})
+
+    def test_different_return_types_rejected(self):
+        module = parse_module("""
+        define i32 @a(i32 %x) {
+        entry:
+          ret i32 %x
+        }
+        define void @b(i32 %x) {
+        entry:
+          ret void
+        }
+        """)
+        with pytest.raises(MergeError):
+            SalSSAMerger(module).merge(module.get_function("a"), module.get_function("b"))
+
+    def test_declarations_rejected(self):
+        module = parse_module(MOTIVATING_EXAMPLE)
+        with pytest.raises(MergeError):
+            SalSSAMerger(module).merge(module.get_function("start"),
+                                       module.get_function("f1"))
+
+    def test_different_argument_counts_supported(self):
+        module = parse_module("""
+        define i32 @a(i32 %x) {
+        entry:
+          %r = add i32 %x, 1
+          ret i32 %r
+        }
+        define i32 @b(i32 %x, i32 %y) {
+        entry:
+          %r = add i32 %x, %y
+          ret i32 %r
+        }
+        """)
+        merged = SalSSAMerger(module).merge(module.get_function("a"),
+                                            module.get_function("b"))
+        assert len(merged.function.args) == 3  # fid + two i32 slots
+        assert observe_many(module, merged.function, [(0, 5, 0)], externals={}) == \
+            observe_many(module, "a", [(5,)], externals={})
+        assert observe_many(module, merged.function, [(1, 5, 7)], externals={}) == \
+            observe_many(module, "b", [(5, 7)], externals={})

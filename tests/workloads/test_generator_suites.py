@@ -1,0 +1,129 @@
+"""Tests for the synthetic workload generator and the suite definitions."""
+
+import pytest
+
+from repro.ir import run_function, verify_module
+from repro.ir.printer import print_module
+from repro.workloads import (
+    MIBENCH,
+    SPEC_CPU2006,
+    SPEC_CPU2017,
+    generate_program,
+    get_benchmark,
+    get_mibench,
+    get_suite,
+    mibench_names,
+    simple_spec,
+)
+
+
+class TestGenerator:
+    def test_generated_module_is_valid(self):
+        module = generate_program(simple_spec("t", seed=3, num_families=3,
+                                              family_size=3, exception_density=0.1))
+        assert verify_module(module, raise_on_error=False) == []
+
+    def test_determinism(self):
+        spec = simple_spec("det", seed=11, num_families=2, family_size=2)
+        first = print_module(generate_program(spec))
+        second = print_module(generate_program(spec))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = print_module(generate_program(simple_spec("s", seed=1)))
+        b = print_module(generate_program(simple_spec("s", seed=2)))
+        assert a != b
+
+    def test_function_count_matches_spec(self):
+        spec = simple_spec("count", seed=5, num_families=3, family_size=2,
+                           standalone_functions=4)
+        module = generate_program(spec)
+        # families (3*2) + standalone (4) + main (1)
+        assert len(module.defined_functions()) == spec.total_functions() == 11
+
+    def test_family_members_are_similar_but_not_identical(self):
+        spec = simple_spec("fam", seed=9, num_families=1, family_size=2,
+                           function_size=40, divergence=0.1)
+        module = generate_program(spec)
+        template = module.get_function("fam_fam0_0")
+        clone = module.get_function("fam_fam0_1")
+        assert template is not None and clone is not None
+        assert print_module_function(template) != print_module_function(clone)
+        ratio = clone.num_instructions() / template.num_instructions()
+        assert 0.7 < ratio < 1.6
+
+    def test_generated_functions_terminate_under_interpretation(self):
+        spec = simple_spec("run", seed=21, num_families=2, family_size=2,
+                           function_size=35)
+        module = generate_program(spec)
+        for function in module.defined_functions()[:6]:
+            args = tuple(2 for _ in function.args)
+            result = run_function(module, function, args, max_steps=500_000)
+            assert result.steps > 0
+
+    def test_main_driver_generated(self):
+        spec = simple_spec("drv", seed=2)
+        module = generate_program(spec)
+        main = module.get_function("drv_main")
+        assert main is not None
+        result = run_function(module, main, (3,), max_steps=2_000_000)
+        assert isinstance(result.value, int)
+
+    def test_exception_density_produces_invokes(self):
+        spec = simple_spec("exc", seed=13, num_families=3, family_size=3,
+                           function_size=60, exception_density=0.5)
+        module = generate_program(spec)
+        opcodes = {i.opcode for f in module.defined_functions() for i in f.instructions()}
+        assert "invoke" in opcodes and "landingpad" in opcodes
+        assert verify_module(module, raise_on_error=False) == []
+
+
+def print_module_function(function):
+    from repro.ir.printer import print_function
+    return print_function(function)
+
+
+class TestSuites:
+    def test_spec_suites_have_paper_benchmarks(self):
+        names_2006 = {spec.name for spec in SPEC_CPU2006}
+        assert "447.dealII" in names_2006 and "403.gcc" in names_2006
+        assert len(SPEC_CPU2006) == 19
+        names_2017 = {spec.name for spec in SPEC_CPU2017}
+        assert "510.parest_r" in names_2017 and "657.xz_s" in names_2017
+        assert len(SPEC_CPU2017) == 16
+
+    def test_get_suite_and_benchmark(self):
+        assert get_suite("spec2006") is SPEC_CPU2006
+        assert get_benchmark("447.dealII").language == "c++"
+        with pytest.raises(KeyError):
+            get_suite("spec95")
+        with pytest.raises(KeyError):
+            get_benchmark("999.nothing")
+
+    def test_template_heavy_programs_have_more_family_structure(self):
+        dealii = get_benchmark("447.dealII")
+        mcf = get_benchmark("429.mcf")
+        assert dealii.family_fraction > mcf.family_fraction
+        assert dealii.family_size > mcf.family_size
+
+    def test_benchmark_build_is_deterministic_and_valid(self):
+        spec = get_benchmark("462.libquantum")
+        module_a = spec.build()
+        module_b = spec.build()
+        assert print_module(module_a) == print_module(module_b)
+        assert verify_module(module_a, raise_on_error=False) == []
+
+    def test_mibench_matches_table1_population(self):
+        assert len(MIBENCH) == 23
+        assert set(mibench_names()) >= {"CRC32", "qsort", "djpeg", "ghostscript"}
+        qsort = get_mibench("qsort")
+        assert qsort.paper_num_functions == 2
+        assert qsort.num_functions == 2
+        ghostscript = get_mibench("ghostscript")
+        assert ghostscript.paper_num_functions == 3452
+        assert ghostscript.num_functions <= 48  # scaled down for CPython
+
+    def test_mibench_build(self):
+        module = get_mibench("bitcount").build()
+        assert verify_module(module, raise_on_error=False) == []
+        assert len(module.defined_functions()) >= get_mibench("bitcount").num_functions
