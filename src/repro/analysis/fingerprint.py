@@ -13,8 +13,9 @@ orders the search.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -83,6 +84,31 @@ class Fingerprint:
         return 1.0 - self.distance(other) / total
 
 
+def opcode_sequence(function: Function) -> Tuple[str, ...]:
+    """The function's bucketised opcode stream in block order.
+
+    This is the raw material for order-sensitive signatures (e.g. the MinHash
+    shingles used by ``repro.search``): two functions with permuted but
+    otherwise identical instruction mixes share a fingerprint yet have
+    different opcode sequences.
+    """
+    return tuple(_BUCKET_BY_OPCODE.get(inst.opcode, "other")
+                 for inst in function.instructions())
+
+
+def opcode_shingles(function: Function, k: int = 3) -> frozenset:
+    """The set of ``k``-grams of the bucketised opcode sequence.
+
+    Functions shorter than ``k`` contribute their whole sequence as a single
+    shingle so every candidate function has a non-empty shingle set.
+    """
+    sequence = opcode_sequence(function)
+    k = max(1, k)
+    if len(sequence) <= k:
+        return frozenset((sequence,)) if sequence else frozenset()
+    return frozenset(sequence[i:i + k] for i in range(len(sequence) - k + 1))
+
+
 @dataclass
 class RankedCandidate:
     """One candidate merge partner for a function, with its ranking score."""
@@ -90,6 +116,37 @@ class RankedCandidate:
     function: Function
     distance: int
     similarity: float
+
+
+def rank_candidates(fingerprint: Fingerprint,
+                    candidates: "Iterable[Tuple[Function, Fingerprint]]",
+                    threshold: int,
+                    similarity_floor: float = 0.0) -> List[RankedCandidate]:
+    """Top-``threshold`` of ``candidates`` by distance to ``fingerprint``.
+
+    The shared ranking core of :class:`CandidateRanking` and every
+    ``repro.search`` index: candidates are ordered by the seed's
+    ``(distance, -size, name)`` key — ``nsmallest`` over that key reproduces
+    the former full sort's ordering without sorting the whole population.
+    """
+    counts = fingerprint.counts
+    scored = []
+    for other, other_fingerprint in candidates:
+        # Inlined Fingerprint.distance/.similarity: the method-call overhead
+        # dominates this hot loop under CPython.  Keep in sync with them.
+        distance = sum(abs(a - b)
+                       for a, b in zip(counts, other_fingerprint.counts))
+        if similarity_floor > 0.0:
+            total = fingerprint.size + other_fingerprint.size
+            similarity = 1.0 if total == 0 else 1.0 - distance / total
+            if similarity < similarity_floor:
+                continue
+        scored.append((distance, -other_fingerprint.size, other.name,
+                       other, other_fingerprint))
+    top = heapq.nsmallest(threshold, scored, key=lambda item: item[:3])
+    return [RankedCandidate(other, distance,
+                            fingerprint.similarity(other_fingerprint))
+            for distance, _, _, other, other_fingerprint in top]
 
 
 class CandidateRanking:
@@ -116,19 +173,15 @@ class CandidateRanking:
                        exclude: Optional[set] = None) -> List[RankedCandidate]:
         """The top-``threshold`` most similar candidates for ``function``."""
         fingerprint = self.fingerprints.get(function)
-        if fingerprint is None:
+        if fingerprint is None or threshold <= 0:
             return []
         exclude = exclude or set()
-        ranked: List[RankedCandidate] = []
-        for other, other_fingerprint in self.fingerprints.items():
-            if other is function or other in exclude:
-                continue
-            distance = fingerprint.distance(other_fingerprint)
-            ranked.append(RankedCandidate(other, distance,
-                                          fingerprint.similarity(other_fingerprint)))
-        ranked.sort(key=lambda c: (c.distance, -self.fingerprints[c.function].size,
-                                   c.function.name))
-        return ranked[:max(0, threshold)]
+        return rank_candidates(
+            fingerprint,
+            ((other, other_fingerprint)
+             for other, other_fingerprint in self.fingerprints.items()
+             if other is not function and other not in exclude),
+            threshold)
 
     def remove(self, function: Function) -> None:
         """Forget a function (e.g. once it has been merged away)."""

@@ -3,6 +3,7 @@
 from .metrics import (
     Measurement,
     arithmetic_mean,
+    combine_search_stats,
     geometric_mean,
     measure_peak_memory,
     measure_time,
@@ -13,6 +14,10 @@ from .pipeline import PipelineResult, baseline_compile, make_pass_options, run_p
 from .experiments import (
     DEFAULT_MIBENCH_SUBSET,
     DEFAULT_SPEC_SUBSET,
+    SearchComparisonResult,
+    SearchComparisonRow,
+    candidate_search_comparison,
+    search_workload,
     Figure5Result,
     Figure19Result,
     Figure20Result,

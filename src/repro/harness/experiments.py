@@ -12,15 +12,20 @@ explicitly for the full sweep (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.size_model import get_target
 from ..ir.interpreter import run_function
 from ..ir.module import Module
 from ..merge.pass_manager import FunctionMergingPass, MergeReport
+from ..search import SearchStrategy, make_index, topk_recall
+from ..search.stats import quality_recall
 from ..transforms.reg2mem import demote_function
 from ..transforms.simplify import simplify_module
+from ..workloads.generator import FamilySpec, ProgramSpec, generate_program
 from ..workloads.mibench_like import MIBENCH, MiBenchSpec
 from ..workloads.spec_like import BenchmarkSpec, get_suite
 from .metrics import geometric_mean, measure_peak_memory
@@ -121,13 +126,16 @@ class ReductionResult:
 
 def _reduction_experiment(suite_specs, suite_name: str, target: str,
                           techniques: Sequence[str], thresholds: Sequence[int],
-                          benchmarks: Optional[Iterable[str]]) -> ReductionResult:
+                          benchmarks: Optional[Iterable[str]],
+                          search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                          ) -> ReductionResult:
     result = ReductionResult(suite_name, target)
     for spec in _select_benchmarks(suite_specs, benchmarks):
         for technique in techniques:
             for threshold in thresholds:
                 module = spec.build()
-                run = run_pipeline(module, spec.name, technique, threshold, target)
+                run = run_pipeline(module, spec.name, technique, threshold, target,
+                                   search_strategy=search_strategy)
                 report = run.report
                 result.rows.append(ReductionRow(
                     spec.name, technique, threshold, run.reduction_percent,
@@ -139,20 +147,24 @@ def _reduction_experiment(suite_specs, suite_name: str, target: str,
 def figure17_spec_reduction(suite: str = "spec2006",
                             techniques: Sequence[str] = ("fmsa", "salssa"),
                             thresholds: Sequence[int] = (1,),
-                            benchmarks: Optional[Iterable[str]] = DEFAULT_SPEC_SUBSET
+                            benchmarks: Optional[Iterable[str]] = DEFAULT_SPEC_SUBSET,
+                            search_strategy: Union[str, SearchStrategy] = "exhaustive"
                             ) -> ReductionResult:
     """Linked-object size reduction over LTO on the SPEC-like suites (Fig. 17)."""
     return _reduction_experiment(get_suite(suite), suite, "x86_64",
-                                 techniques, thresholds, benchmarks)
+                                 techniques, thresholds, benchmarks,
+                                 search_strategy=search_strategy)
 
 
 def figure18_mibench_reduction(techniques: Sequence[str] = ("fmsa", "salssa"),
                                thresholds: Sequence[int] = (1,),
-                               benchmarks: Optional[Iterable[str]] = DEFAULT_MIBENCH_SUBSET
+                               benchmarks: Optional[Iterable[str]] = DEFAULT_MIBENCH_SUBSET,
+                               search_strategy: Union[str, SearchStrategy] = "exhaustive"
                                ) -> ReductionResult:
     """Linked-object size reduction on the MiBench-like suite, ARM-Thumb model (Fig. 18)."""
     return _reduction_experiment(MIBENCH, "mibench", "arm_thumb",
-                                 techniques, thresholds, benchmarks)
+                                 techniques, thresholds, benchmarks,
+                                 search_strategy=search_strategy)
 
 
 # ---------------------------------------------------------------------------
@@ -515,4 +527,124 @@ def figure25_runtime_overhead(suite: str = "spec2006",
             merged_steps = _dynamic_steps(module, spec.name)
             result.rows.append(Figure25Row(spec.name, technique,
                                            baseline_steps, merged_steps))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Candidate-search scaling: exhaustive vs sub-linear indexes (repro.search)
+# ---------------------------------------------------------------------------
+
+def search_workload(num_functions: int, seed: int = 7) -> Module:
+    """A mibench-like module for candidate-search experiments.
+
+    Mirrors the population structure of the larger MiBench programs — mostly
+    clone families of 2-4 similar functions with heterogeneous size targets,
+    plus a minority of standalone functions — but scales to arbitrary function
+    counts, which the real table-driven specs (capped at 48 functions) cannot.
+    """
+    rng = random.Random(seed)
+    families: List[FamilySpec] = []
+    remaining = int(num_functions * 0.8)
+    while remaining >= 2:
+        family_size = min(rng.randint(2, 4), remaining)
+        families.append(FamilySpec(
+            size=family_size, divergence=0.07,
+            function_size=rng.choice((12, 18, 26, 38, 55, 80))))
+        remaining -= family_size
+    spec = ProgramSpec(
+        name=f"search{num_functions}", seed=seed, families=families,
+        standalone_functions=num_functions - sum(f.size for f in families),
+        standalone_size=30, with_main=False)
+    module = generate_program(spec)
+    simplify_module(module)
+    return module
+
+
+@dataclass
+class SearchComparisonRow:
+    """One (module size, strategy) measurement of the candidate search."""
+
+    num_functions: int
+    strategy: str
+    build_seconds: float
+    query_seconds: float
+    queries: int
+    recall: float
+    quality: float
+    scan_fraction: float
+
+    @property
+    def avg_query_micros(self) -> float:
+        return 1e6 * self.query_seconds / self.queries if self.queries else 0.0
+
+
+@dataclass
+class SearchComparisonResult:
+    top_k: int
+    rows: List[SearchComparisonRow] = field(default_factory=list)
+
+    def for_strategy(self, strategy: str) -> List[SearchComparisonRow]:
+        return [row for row in self.rows if row.strategy == strategy]
+
+    def speedup_over_exhaustive(self, strategy: str,
+                                num_functions: int) -> float:
+        """Query-time speedup of ``strategy`` at one module size.
+
+        Returns 0.0 when there is no exhaustive reference row for that size
+        (e.g. the comparison ran without the exhaustive strategy).
+        """
+        by_size = {row.num_functions: row for row in self.for_strategy("exhaustive")}
+        reference = by_size.get(num_functions)
+        for row in self.for_strategy(strategy):
+            if row.num_functions == num_functions and reference is not None \
+                    and row.query_seconds > 0:
+                return reference.query_seconds / row.query_seconds
+        return 0.0
+
+
+def candidate_search_comparison(
+        sizes: Sequence[int] = (256, 512, 1024),
+        strategies: Sequence[Union[str, SearchStrategy]] = (
+            "exhaustive", "size_buckets", "minhash_lsh"),
+        top_k: int = 2,
+        max_queries: int = 128,
+        seed: int = 7) -> SearchComparisonResult:
+    """Compare candidate-search strategies as the module grows.
+
+    For each module size, every strategy answers the same (deterministically
+    sampled) top-k queries; recall and quality are measured against the
+    exhaustive index's answers, and scan fraction comes from the index's own
+    :class:`~repro.search.stats.SearchStats`.
+    """
+    result = SearchComparisonResult(top_k=top_k)
+    for num_functions in sizes:
+        module = search_workload(num_functions, seed=seed)
+        reference = make_index(module, "exhaustive", min_size=3)
+        queries = reference.functions_by_size()
+        if len(queries) > max_queries:
+            stride = len(queries) / max_queries
+            queries = [queries[int(i * stride)] for i in range(max_queries)]
+        expected = {f: reference.candidates_for(f, top_k) for f in queries}
+        for strategy in strategies:
+            started = time.perf_counter()
+            index = make_index(module, strategy, min_size=3)
+            build_seconds = time.perf_counter() - started
+            recall_total = quality_total = 0.0
+            started = time.perf_counter()
+            answers = {f: index.candidates_for(f, top_k) for f in queries}
+            query_seconds = time.perf_counter() - started
+            for function in queries:
+                recall_total += topk_recall(
+                    [c.function for c in expected[function]],
+                    [c.function for c in answers[function]])
+                quality_total += quality_recall(expected[function], answers[function])
+            result.rows.append(SearchComparisonRow(
+                num_functions=num_functions,
+                strategy=index.strategy.name,
+                build_seconds=build_seconds,
+                query_seconds=query_seconds,
+                queries=len(queries),
+                recall=recall_total / len(queries) if queries else 1.0,
+                quality=quality_total / len(queries) if queries else 1.0,
+                scan_fraction=index.stats.scan_fraction))
     return result

@@ -10,6 +10,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from ..search.stats import SearchStats
+
 
 @dataclass
 class Measurement:
@@ -73,6 +75,21 @@ def geometric_mean(values: Iterable[float]) -> float:
 def arithmetic_mean(values: Iterable[float]) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+def combine_search_stats(stats: Iterable[Optional[SearchStats]]) -> SearchStats:
+    """Roll per-module candidate-search stats up into one aggregate.
+
+    Accepts the ``report.search_stats`` of many merge runs (``None`` entries —
+    e.g. from baseline-only pipeline runs — are skipped) and returns a single
+    :class:`SearchStats` whose totals and :attr:`~SearchStats.scan_fraction`
+    cover the whole experiment.
+    """
+    combined = SearchStats()
+    for entry in stats:
+        if entry is not None:
+            combined.merge(entry)
+    return combined
 
 
 def speedup(reference_seconds: float, measured_seconds: float) -> float:

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..search import SearchStrategy
 from ..ir.module import Module
 from ..ir.printer import print_module
 from ..ir.verifier import verify_module
@@ -70,11 +71,14 @@ def baseline_compile(module: Module) -> float:
 
 
 def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
-                      phi_coalescing: bool = True) -> MergePassOptions:
+                      phi_coalescing: bool = True,
+                      search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                      ) -> MergePassOptions:
     """Build pass options for one experimental configuration."""
     return MergePassOptions(
         technique=technique,
         exploration_threshold=threshold,
+        search_strategy=search_strategy,
         size_model=size_model,
         salssa=SalSSAOptions(phi_coalescing=phi_coalescing),
     )
@@ -83,10 +87,14 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
 def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  threshold: int = 1, target: str = "x86_64",
                  phi_coalescing: bool = True,
-                 measure_memory: bool = False) -> PipelineResult:
+                 measure_memory: bool = False,
+                 search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                 ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
     ``technique`` may be ``"salssa"``, ``"fmsa"`` or ``"none"`` (baseline only).
+    ``search_strategy`` selects the candidate index the merge pass queries;
+    the default keeps the seed's exhaustive ranking.
     """
     size_model = get_target(target)
     baseline_seconds = baseline_compile(module)
@@ -98,7 +106,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                               baseline_size, baseline_instructions,
                               baseline_instructions, baseline_seconds, 0.0)
 
-    options = make_pass_options(technique, threshold, size_model, phi_coalescing)
+    options = make_pass_options(technique, threshold, size_model, phi_coalescing,
+                                search_strategy=search_strategy)
     merging_pass = FunctionMergingPass(options)
 
     peak_bytes = 0

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..search.stats import SearchStats
 from .experiments import (
+    SearchComparisonResult,
     Figure5Result,
     Figure19Result,
     Figure20Result,
@@ -111,6 +113,29 @@ def format_figure24(result: Figure24Result) -> str:
         rows.append(("GMean", technique, threshold,
                      f"{result.geomean(technique, threshold):.2f}"))
     return format_table(("benchmark", "technique", "t", "normalized compile time"), rows)
+
+
+def format_search_stats(stats: SearchStats) -> str:
+    """One-line summary of a merge run's candidate-search counters."""
+    return (f"search[{stats.strategy}]: {stats.queries} queries, "
+            f"{stats.candidates_scanned}/{stats.population_available} candidates "
+            f"scanned ({100.0 * stats.scan_fraction:.1f}%), "
+            f"{stats.candidates_returned} returned, "
+            f"{stats.inserts} inserts / {stats.removals} removals / "
+            f"{stats.updates} updates")
+
+
+def format_search_comparison(result: SearchComparisonResult) -> str:
+    rows = []
+    for row in result.rows:
+        speedup_ = result.speedup_over_exhaustive(row.strategy, row.num_functions)
+        rows.append((row.num_functions, row.strategy,
+                     f"{row.build_seconds * 1e3:.1f} ms",
+                     f"{row.avg_query_micros:.0f} us", f"{row.recall:.3f}",
+                     f"{row.quality:.3f}", f"{100.0 * row.scan_fraction:.1f}%",
+                     f"{speedup_:.1f}x" if speedup_ > 0 else "n/a"))
+    return format_table(("#fns", "strategy", "build", "query", "recall",
+                         "quality", "scanned", "speedup"), rows)
 
 
 def format_figure25(result: Figure25Result) -> str:

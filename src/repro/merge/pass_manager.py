@@ -14,10 +14,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Union
 
-from ..analysis.fingerprint import CandidateRanking
 from ..analysis.size_model import SizeModel, X86_64
+from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import CallInst, ReturnInst
@@ -37,6 +37,10 @@ class MergePassOptions:
 
     technique: str = "salssa"  # "salssa" or "fmsa"
     exploration_threshold: int = 1
+    #: Candidate-search strategy: a registered name ("exhaustive",
+    #: "size_buckets", "minhash_lsh") or a full SearchStrategy config.  The
+    #: default reproduces the seed's full-scan ranking bit for bit.
+    search_strategy: Union[str, SearchStrategy] = "exhaustive"
     size_model: SizeModel = X86_64
     cost_model: Optional[CostModel] = None
     salssa: SalSSAOptions = field(default_factory=SalSSAOptions)
@@ -75,6 +79,8 @@ class MergeReport:
 
     technique: str
     exploration_threshold: int
+    search_strategy: str = "exhaustive"
+    search_stats: Optional[SearchStats] = None
     size_before: int = 0
     size_after: int = 0
     instructions_before: int = 0
@@ -107,12 +113,15 @@ class FunctionMergingPass:
         self.options = options or MergePassOptions()
         if self.options.technique not in ("salssa", "fmsa"):
             raise ValueError(f"unknown technique {self.options.technique!r}")
+        # Fail fast on unknown strategy names (raises ValueError).
+        self.search_strategy = resolve_strategy(self.options.search_strategy)
 
     # ------------------------------------------------------------ interface
     def run(self, module: Module) -> MergeReport:
         options = self.options
         cost_model = options.resolved_cost_model()
-        report = MergeReport(options.technique, options.exploration_threshold)
+        report = MergeReport(options.technique, options.exploration_threshold,
+                             search_strategy=self.search_strategy.name)
         report.size_before = options.size_model.module_size(module)
         report.instructions_before = module.num_instructions()
         start_time = time.perf_counter()
@@ -121,20 +130,22 @@ class FunctionMergingPass:
         original_sizes: Dict[Function, int] = {
             f: cost_model.function_size(f) for f in module.defined_functions()}
 
-        ranking = CandidateRanking(module, min_size=options.min_function_size)
+        index = make_index(module, self.search_strategy,
+                           min_size=options.min_function_size)
+        report.search_stats = index.stats
         consumed: Set[Function] = set()
-        worklist = ranking.functions_by_size()
+        worklist = index.functions_by_size()
 
-        index = 0
-        while index < len(worklist):
-            function = worklist[index]
-            index += 1
+        position = 0
+        while position < len(worklist):
+            function = worklist[position]
+            position += 1
             if function in consumed or function.parent is not module:
                 continue
             best: Optional[MergedFunction] = None
             best_decision: Optional[MergeDecision] = None
-            for candidate in ranking.candidates_for(function, options.exploration_threshold,
-                                                    exclude=consumed):
+            for candidate in index.candidates_for(function, options.exploration_threshold,
+                                                  exclude=consumed):
                 other = candidate.function
                 if other in consumed or other.parent is not module:
                     continue
@@ -154,11 +165,11 @@ class FunctionMergingPass:
                 self._commit(module, best, report)
                 consumed.add(best.first)
                 consumed.add(best.second)
-                ranking.remove(best.first)
-                ranking.remove(best.second)
+                index.remove(best.first)
+                index.remove(best.second)
                 original_sizes[best.function] = cost_model.function_size(best.function)
                 if options.allow_remerge:
-                    ranking.update(best.function)
+                    index.update(best.function)
                     worklist.append(best.function)
                 report.profitable_merges += 1
             elif best is not None:

@@ -1,0 +1,41 @@
+"""Scalable candidate-search subsystem for the function-merging pass.
+
+Decouples "find promising merge partners" from the merge driver behind the
+:class:`CandidateIndex` interface, with three pluggable strategies:
+
+* ``exhaustive`` — the seed's full O(N) scan per query (the exact reference),
+* ``size_buckets`` — log-scale size bucketing, scans only comparable sizes,
+* ``minhash_lsh`` — shingled opcode-sequence MinHash signatures in banded LSH
+  tables for near-constant-time top-k retrieval.
+
+See ``docs/search.md`` for strategy selection and tuning.
+"""
+
+from .index import (
+    CandidateIndex,
+    ExhaustiveIndex,
+    MinHashLSHIndex,
+    SizeBucketIndex,
+)
+from .stats import SearchStats, topk_recall
+from .strategy import (
+    SearchStrategy,
+    available_strategies,
+    make_index,
+    register_strategy,
+    resolve_strategy,
+)
+
+__all__ = [
+    "CandidateIndex",
+    "ExhaustiveIndex",
+    "MinHashLSHIndex",
+    "SearchStats",
+    "SearchStrategy",
+    "SizeBucketIndex",
+    "available_strategies",
+    "make_index",
+    "register_strategy",
+    "resolve_strategy",
+    "topk_recall",
+]

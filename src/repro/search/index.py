@@ -1,0 +1,394 @@
+"""Candidate indexes: where "find promising merge partners" lives.
+
+The merge pass (paper §5.1) needs, for each function, the ``t`` most similar
+other functions by fingerprint distance.  The seed computed this with a full
+O(N) scan per query — O(N²) per module and the dominant cost on large
+modules.  This module decouples that search behind a :class:`CandidateIndex`
+interface with three strategies:
+
+* :class:`ExhaustiveIndex` — the extracted seed behaviour: score every live
+  function per query.  Exact, and the reference the others are measured
+  against.
+* :class:`SizeBucketIndex` — functions live in log2(size) buckets and a query
+  only scans buckets within a radius of its own.  Exploits the fact that the
+  Manhattan fingerprint distance is bounded below by the size difference, so
+  far-away buckets can rarely win.
+* :class:`MinHashLSHIndex` — order-sensitive signatures: the bucketised
+  opcode sequence is shingled into k-grams, MinHash-compressed, and stored in
+  banded LSH tables.  A query only scores functions sharing at least one band
+  key, which for clone families is a tiny, near-constant-size pool.
+
+All three return :class:`~repro.analysis.fingerprint.RankedCandidate` lists
+ranked by the *same* ``(distance, -size, name)`` key as the seed's
+``CandidateRanking``, so the exhaustive strategy is bit-identical to the old
+behaviour and the sub-linear ones are conservative over-approximations (with
+an optional full-scan fallback when a probe comes back too small).
+
+Indexes are incremental: the merge pass calls :meth:`CandidateIndex.remove`
+for consumed functions and :meth:`CandidateIndex.update` for freshly merged
+ones, so no strategy ever rebuilds from scratch mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.fingerprint import (
+    Fingerprint,
+    RankedCandidate,
+    opcode_shingles,
+    rank_candidates,
+)
+from ..ir.function import Function
+from ..ir.module import Module
+from .stats import SearchStats
+from .strategy import SearchStrategy, register_strategy, resolve_strategy
+
+
+class CandidateIndex(ABC):
+    """Maintains per-function fingerprints and answers top-k partner queries.
+
+    Subclasses implement ``_insert`` / ``_discard`` (structure maintenance)
+    and ``_candidate_pool`` (which functions a query scores).  Ranking,
+    fingerprint bookkeeping and stats recording are shared here, so every
+    strategy orders survivors identically to the exhaustive reference.
+    """
+
+    strategy_name = "abstract"
+
+    def __init__(self, module: Module, min_size: int = 2,
+                 strategy: Optional[SearchStrategy] = None,
+                 stats: Optional[SearchStats] = None) -> None:
+        self.module = module
+        self.min_size = min_size
+        self.strategy = strategy or resolve_strategy(self.strategy_name)
+        self.stats = stats or SearchStats(strategy=self.strategy.name)
+        self.fingerprints: Dict[Function, Fingerprint] = {}
+        for function in module.defined_functions():
+            # Initial build: populate without touching the maintenance stats,
+            # so inserts/removals/updates count only incremental churn.
+            self._index_function(function)
+
+    # ------------------------------------------------------------ population
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, function: Function) -> bool:
+        return function in self.fingerprints
+
+    def functions_by_size(self) -> List[Function]:
+        """Indexed functions ordered from largest to smallest."""
+        return sorted(self.fingerprints, key=lambda f: -self.fingerprints[f].size)
+
+    # ----------------------------------------------------------- maintenance
+    def add(self, function: Function) -> None:
+        """Index a function (ignored when it is below the size threshold)."""
+        if self._index_function(function):
+            self.stats.inserts += 1
+
+    def remove(self, function: Function) -> None:
+        """Forget a function (e.g. once it has been merged away)."""
+        if self._unindex_function(function):
+            self.stats.removals += 1
+
+    def update(self, function: Function) -> None:
+        """Re-index a (new or rewritten) function."""
+        removed = self._unindex_function(function)
+        added = self._index_function(function)
+        if removed or added:
+            self.stats.updates += 1
+
+    def _index_function(self, function: Function) -> bool:
+        if function.num_instructions() < self.min_size:
+            return False
+        fingerprint = Fingerprint.of(function)
+        self.fingerprints[function] = fingerprint
+        self._insert(function, fingerprint)
+        return True
+
+    def _unindex_function(self, function: Function) -> bool:
+        fingerprint = self.fingerprints.pop(function, None)
+        if fingerprint is None:
+            return False
+        self._discard(function, fingerprint)
+        return True
+
+    # ---------------------------------------------------------------- query
+    def candidates_for(self, function: Function, threshold: Optional[int] = None,
+                       exclude: Optional[set] = None) -> List[RankedCandidate]:
+        """The top-``threshold`` most similar indexed candidates for ``function``."""
+        if threshold is None:
+            threshold = self.strategy.top_k
+        fingerprint = self.fingerprints.get(function)
+        if fingerprint is None or threshold <= 0:
+            return []
+        exclude = exclude or set()
+        floor = self.strategy.similarity_floor
+        pairs = [(other, other_fingerprint) for other, other_fingerprint
+                 in self._candidate_pool(function, fingerprint, threshold, exclude)
+                 if other is not function and other not in exclude]
+        ranked = rank_candidates(fingerprint, pairs, threshold, floor)
+        scanned = len(pairs)
+        # Fall back only when the *probe pool* was too small — if the pool
+        # covered >= threshold candidates and ranking still came up short,
+        # the similarity floor filtered them and a full scan would too.
+        if len(ranked) < threshold and len(pairs) < threshold \
+                and self.strategy.fallback_to_scan \
+                and scanned < self._available_candidates(function, exclude):
+            # Conservative fallback: the probe under-delivered, so also scan
+            # the rest of the population.  Only the complement is scored —
+            # the probe's short top-k merges with the complement's.
+            seen = {other for other, _ in pairs}
+            extra = [(other, other_fingerprint)
+                     for other, other_fingerprint in self.fingerprints.items()
+                     if other is not function and other not in exclude
+                     and other not in seen]
+            if extra:
+                ranked = self._merge_ranked(
+                    ranked, rank_candidates(fingerprint, extra, threshold, floor),
+                    threshold)
+                scanned += len(extra)
+        self.stats.record_query(scanned=scanned, returned=len(ranked),
+                                population=max(0, len(self.fingerprints) - 1))
+        return ranked
+
+    def _available_candidates(self, function: Function, exclude: set) -> int:
+        """How many indexed candidates a full scan for ``function`` would score."""
+        excluded_indexed = sum(1 for other in exclude
+                               if other is not function and other in self.fingerprints)
+        return max(0, len(self.fingerprints) - 1 - excluded_indexed)
+
+    def _merge_ranked(self, first: List[RankedCandidate],
+                      second: List[RankedCandidate],
+                      threshold: int) -> List[RankedCandidate]:
+        combined = first + second
+        combined.sort(key=lambda c: (c.distance,
+                                     -self.fingerprints[c.function].size,
+                                     c.function.name))
+        return combined[:threshold]
+
+    # ------------------------------------------------------------- subclass
+    @abstractmethod
+    def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
+        """Add a function to the strategy's search structure."""
+
+    @abstractmethod
+    def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
+        """Remove a function from the strategy's search structure."""
+
+    @abstractmethod
+    def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
+                        threshold: int, exclude: set
+                        ) -> Iterable[Tuple[Function, Fingerprint]]:
+        """``(function, fingerprint)`` pairs a query should score.
+
+        May still contain the query function or excluded entries; the caller
+        filters.  Yielding pairs keeps the exhaustive hot path at the seed's
+        cost (one dict iteration, no per-candidate lookups).
+        """
+
+
+class ExhaustiveIndex(CandidateIndex):
+    """The seed's full-scan ranking, extracted behind the index interface."""
+
+    strategy_name = "exhaustive"
+
+    def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
+        pass
+
+    def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
+        pass
+
+    def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
+                        threshold: int, exclude: set
+                        ) -> Iterable[Tuple[Function, Fingerprint]]:
+        return self.fingerprints.items()
+
+
+class SizeBucketIndex(CandidateIndex):
+    """Log-scale size bucketing: only comparably-sized functions are scanned.
+
+    The fingerprint distance between two functions is at least the difference
+    of their sizes (every surplus instruction adds one to some bucket count),
+    so a candidate 4x larger than the query can only outrank a same-size
+    candidate when the latter is already very dissimilar.  Scanning the query
+    function's log2(size) bucket plus ``bucket_radius`` neighbours on each
+    side therefore keeps near-exhaustive recall while skipping most of the
+    population on modules with a wide size distribution.  The radius widens
+    automatically until the pool covers the requested ``threshold``.
+    """
+
+    strategy_name = "size_buckets"
+
+    def __init__(self, module: Module, min_size: int = 2,
+                 strategy: Optional[SearchStrategy] = None,
+                 stats: Optional[SearchStats] = None) -> None:
+        # Insertion-ordered dicts keep per-bucket membership deterministic.
+        self._buckets: Dict[int, Dict[Function, Fingerprint]] = {}
+        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats)
+
+    @staticmethod
+    def _bucket_of(size: int) -> int:
+        return max(0, size).bit_length()
+
+    def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
+        self._buckets.setdefault(self._bucket_of(fingerprint.size),
+                                 {})[function] = fingerprint
+
+    def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
+        bucket = self._bucket_of(fingerprint.size)
+        members = self._buckets.get(bucket)
+        if members is not None:
+            members.pop(function, None)
+            if not members:
+                del self._buckets[bucket]
+
+    def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
+                        threshold: int, exclude: set
+                        ) -> Iterable[Tuple[Function, Fingerprint]]:
+        center = self._bucket_of(fingerprint.size)
+        occupied = sorted(self._buckets)
+        radius = max(0, self.strategy.bucket_radius)
+        pool: List[Tuple[Function, Fingerprint]] = []
+        included: set = set()
+        while True:
+            for bucket in occupied:
+                if bucket not in included and abs(bucket - center) <= radius:
+                    included.add(bucket)
+                    pool.extend(pair for pair in self._buckets[bucket].items()
+                                if pair[0] is not function and pair[0] not in exclude)
+            if len(pool) >= threshold or len(included) == len(occupied):
+                return pool
+            radius += 1
+
+
+#: Modulus of the universal hash family: the Mersenne prime 2^61 - 1.
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+class MinHashLSHIndex(CandidateIndex):
+    """Shingled-opcode MinHash signatures in banded LSH tables.
+
+    Each function's bucketised opcode sequence is cut into ``shingle_size``
+    k-grams; the shingle set is compressed into a MinHash signature of
+    ``num_bands * rows_per_band`` hashes drawn from a seeded universal hash
+    family (deterministic across processes, unlike ``hash(str)``).  The
+    signature is split into bands of ``rows_per_band`` rows; each band is a
+    key into one hash table, and a query scores exactly the functions that
+    collide with it in at least one band — for clone families a small,
+    near-constant pool regardless of module size.
+
+    Two functions with Jaccard shingle similarity ``s`` collide in some band
+    with probability ``1 - (1 - s^r)^b``; the defaults (b=8, r=3) put the
+    S-curve threshold near ``s ≈ 0.5``, well below the shingle similarity of
+    clone-family members (typically 0.85+), which is what makes the index a
+    conservative pre-filter rather than a lossy one.
+
+    Shingle bands alone cannot see pairs whose opcode *histograms* match while
+    their opcode *sequences* differ — and the exhaustive reference ranks by
+    histogram (Manhattan) distance.  A second band family therefore MinHashes
+    the fingerprint itself, unary-encoded (bucket ``i`` with count ``c``
+    contributes tokens ``(i, 1) .. (i, c)``): the Jaccard similarity of two
+    unary encodings is ``(1 - d') / (1 + d')`` for normalised Manhattan
+    distance ``d'``, so these bands recall exactly the low-distance pairs the
+    reference ranking puts first, sequence overlap or not.
+    """
+
+    strategy_name = "minhash_lsh"
+
+    def __init__(self, module: Module, min_size: int = 2,
+                 strategy: Optional[SearchStrategy] = None,
+                 stats: Optional[SearchStats] = None) -> None:
+        strategy = strategy or resolve_strategy(self.strategy_name)
+        self._num_bands = max(1, strategy.num_bands)
+        self._rows = max(1, strategy.rows_per_band)
+        self._fp_bands = max(0, strategy.fingerprint_bands)
+        self._fp_rows = max(1, strategy.fingerprint_rows)
+        rng = random.Random(strategy.hash_seed)
+        total_hashes = (self._num_bands * self._rows
+                        + self._fp_bands * self._fp_rows)
+        self._hash_params: List[Tuple[int, int]] = [
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
+            for _ in range(total_hashes)]
+        self._tables: List[Dict[Tuple[int, ...], Dict[Function, Fingerprint]]] = [
+            {} for _ in range(self._num_bands + self._fp_bands)]
+        self._signatures: Dict[Function, Tuple[int, ...]] = {}
+        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats)
+
+    # ------------------------------------------------------------ signatures
+    def _signature(self, function: Function, fingerprint: Fingerprint) -> Tuple[int, ...]:
+        shingles = [self._shingle_id(shingle)
+                    for shingle in opcode_shingles(function, self.strategy.shingle_size)]
+        if not shingles:
+            shingles = [0]
+        split = self._num_bands * self._rows
+        signature = [
+            min((a * shingle + b) % _MERSENNE_PRIME for shingle in shingles)
+            for a, b in self._hash_params[:split]]
+        if self._fp_bands:
+            tokens = [((bucket << 16) | count)
+                      for bucket, total in enumerate(fingerprint.counts)
+                      for count in range(1, total + 1)] or [0]
+            signature.extend(
+                min((a * token + b) % _MERSENNE_PRIME for token in tokens)
+                for a, b in self._hash_params[split:])
+        return tuple(signature)
+
+    @staticmethod
+    def _shingle_id(shingle: Tuple[str, ...]) -> int:
+        digest = hashlib.blake2b("\x1f".join(shingle).encode("ascii"),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def _band_keys(self, signature: Tuple[int, ...]):
+        rows = self._rows
+        split = self._num_bands * rows
+        for band in range(self._num_bands):
+            yield band, signature[band * rows:(band + 1) * rows]
+        rows = self._fp_rows
+        for band in range(self._fp_bands):
+            yield (self._num_bands + band,
+                   signature[split + band * rows:split + (band + 1) * rows])
+
+    # ----------------------------------------------------------- maintenance
+    def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
+        signature = self._signature(function, fingerprint)
+        self._signatures[function] = signature
+        for band, key in self._band_keys(signature):
+            self._tables[band].setdefault(key, {})[function] = fingerprint
+
+    def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
+        signature = self._signatures.pop(function, None)
+        if signature is None:
+            return
+        for band, key in self._band_keys(signature):
+            members = self._tables[band].get(key)
+            if members is not None:
+                members.pop(function, None)
+                if not members:
+                    del self._tables[band][key]
+
+    # ---------------------------------------------------------------- query
+    def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
+                        threshold: int, exclude: set
+                        ) -> Iterable[Tuple[Function, Fingerprint]]:
+        signature = self._signatures.get(function)
+        if signature is None:
+            return []
+        pool: Dict[Function, Fingerprint] = {}
+        for band, key in self._band_keys(signature):
+            members = self._tables[band].get(key)
+            if not members:
+                continue
+            for other, other_fingerprint in members.items():
+                if other is not function and other not in exclude:
+                    pool[other] = other_fingerprint
+        return pool.items()
+
+
+register_strategy(ExhaustiveIndex.strategy_name, ExhaustiveIndex)
+register_strategy(SizeBucketIndex.strategy_name, SizeBucketIndex)
+register_strategy(MinHashLSHIndex.strategy_name, MinHashLSHIndex)
