@@ -1,0 +1,52 @@
+"""Analysis-manager caching: recomputation counts and wall time vs. uncached.
+
+Not a paper figure — this benchmarks the ``repro.analysis.manager`` subsystem
+that gives the pipeline's consumers (transforms, verifier, merge pass, cost
+model, candidate search) one memoized, invalidation-aware source of analysis
+results.  For mibench-like modules it runs the same deterministic
+multi-consumer workload twice — once with every consumer computing its own
+analyses (the seed behaviour) and once sharing a module-level manager — and
+reports wall time, ``DominatorTree``/``Fingerprint`` construction counts and
+the manager's hit/miss/invalidation counters.
+
+Expected shape: merge decisions are bit-identical in both modes (asserted via
+report digests), while the cached run constructs at least 2x fewer dominator
+trees and fingerprints.  ``REPRO_SMOKE=1`` shrinks the sweep to one small
+module so CI can keep the harness alive cheaply; ``REPRO_FULL=1`` extends it.
+"""
+
+import os
+
+from repro.harness import analysis_cache_comparison
+from repro.harness.reporting import format_analysis_cache, format_analysis_stats
+
+from conftest import FULL, run_once
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
+SIZES = (256,) if SMOKE else ((128, 256, 512) if FULL else (128, 256))
+
+
+def test_analysis_cache_comparison(benchmark):
+    result = run_once(benchmark, analysis_cache_comparison, sizes=SIZES)
+    print()
+    print(format_analysis_cache(result))
+    for row in result.rows:
+        if row.analysis_stats is not None:
+            print(f"  {row.num_functions} fns: "
+                  f"{format_analysis_stats(row.analysis_stats)}")
+    largest = max(SIZES)
+    benchmark.extra_info["domtree_ratio"] = round(
+        result.construction_ratio(largest, "DominatorTree"), 2)
+    benchmark.extra_info["fingerprint_ratio"] = round(
+        result.construction_ratio(largest, "Fingerprint"), 2)
+    benchmark.extra_info["wall_speedup"] = round(result.speedup(largest), 2)
+    # The acceptance bar for the subsystem.  (Deterministic quantities only —
+    # the wall-clock speedup is recorded in extra_info but not asserted, so CI
+    # timing noise cannot fail it.)
+    for size in SIZES:
+        assert result.digests_match(size), \
+            f"cached and uncached merge reports diverged at {size} functions"
+        domtree_ratio = result.construction_ratio(size, "DominatorTree")
+        fingerprint_ratio = result.construction_ratio(size, "Fingerprint")
+        assert domtree_ratio >= 2.0, (size, domtree_ratio)
+        assert fingerprint_ratio >= 2.0, (size, fingerprint_ratio)

@@ -1,5 +1,5 @@
 """Analyses over the repro IR: CFG utilities, dominators, liveness,
-function fingerprints and code-size models."""
+function fingerprints, code-size models and the cached analysis managers."""
 
 from .cfg import (
     edges,
@@ -11,8 +11,21 @@ from .cfg import (
     reverse_postorder,
     successors,
 )
+from .counters import (
+    construction_counts,
+    count_construction,
+    track_constructions,
+)
 from .dominators import DominatorTree
 from .liveness import LivenessInfo, compute_liveness, user_blocks
+from .manager import (
+    ALL_ANALYSES,
+    CFG_ANALYSES,
+    AnalysisStats,
+    FunctionAnalysisManager,
+    ModuleAnalysisManager,
+    default_analyses,
+)
 from .fingerprint import CandidateRanking, Fingerprint, RankedCandidate
 from .size_model import (
     ARM_THUMB,

@@ -10,6 +10,7 @@ from typing import Dict, Iterable, List, Set
 
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
+from .counters import count_construction
 
 
 def successors(block: BasicBlock) -> List[BasicBlock]:
@@ -28,6 +29,7 @@ def predecessors(block: BasicBlock) -> List[BasicBlock]:
 
 def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
     """Map every block of ``function`` to its predecessors in one pass."""
+    count_construction("predecessor_map")
     preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in function.blocks}
     for block in function.blocks:
         for successor in successors(block):
@@ -38,6 +40,7 @@ def predecessor_map(function: Function) -> Dict[BasicBlock, List[BasicBlock]]:
 
 def reachable_blocks(function: Function) -> Set[BasicBlock]:
     """Blocks reachable from the entry block."""
+    count_construction("reachable_blocks")
     entry = function.entry_block
     if entry is None:
         return set()

@@ -1,0 +1,60 @@
+"""Global construction counters for the expensive analyses.
+
+The analysis manager (see :mod:`repro.analysis.manager`) exists to avoid
+recomputing analyses; these counters are how that claim is *checked* rather
+than assumed.  Every expensive analysis entry point
+(:class:`~repro.analysis.dominators.DominatorTree`,
+:meth:`~repro.analysis.fingerprint.Fingerprint.of`,
+:func:`~repro.analysis.liveness.compute_liveness`, the CFG maps) increments a
+named counter on construction; tests and ``benchmarks/bench_analysis_cache.py``
+snapshot the counters around a workload and compare cached vs. uncached runs.
+
+The counters are process-global and monotonic — always measure deltas with
+:func:`track_constructions`, never absolute values.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+_COUNTS: Counter = Counter()
+
+
+def count_construction(name: str) -> None:
+    """Record one construction of the named analysis."""
+    _COUNTS[name] += 1
+
+
+def construction_counts() -> Dict[str, int]:
+    """A snapshot of all counters since process start."""
+    return dict(_COUNTS)
+
+
+class ConstructionTracker:
+    """Computes per-analysis construction deltas against a baseline snapshot."""
+
+    def __init__(self) -> None:
+        self._baseline = Counter(_COUNTS)
+
+    def delta(self, name: str = "") -> "int | Dict[str, int]":
+        """Constructions since the snapshot, for one analysis or all of them."""
+        if name:
+            return _COUNTS[name] - self._baseline[name]
+        return {key: count - self._baseline[key]
+                for key, count in _COUNTS.items()
+                if count != self._baseline[key]}
+
+
+@contextmanager
+def track_constructions() -> Iterator[ConstructionTracker]:
+    """Context manager yielding a tracker snapshotted at entry.
+
+    Usage::
+
+        with track_constructions() as tracker:
+            run_workload()
+        assert tracker.delta("DominatorTree") == expected
+    """
+    yield ConstructionTracker()

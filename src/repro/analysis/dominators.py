@@ -17,17 +17,20 @@ from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import Instruction
 from .cfg import predecessor_map, reverse_postorder
+from .counters import count_construction
 
 
 class DominatorTree:
     """Immediate-dominator tree for the reachable blocks of a function."""
 
     def __init__(self, function: Function) -> None:
+        count_construction("DominatorTree")
         self.function = function
         self.rpo: List[BasicBlock] = reverse_postorder(function)
         self._order: Dict[BasicBlock, int] = {b: i for i, b in enumerate(self.rpo)}
         self.idom: Dict[BasicBlock, Optional[BasicBlock]] = {}
         self._children: Dict[BasicBlock, List[BasicBlock]] = {}
+        self._frontier: Optional[Dict[BasicBlock, Set[BasicBlock]]] = None
         self._compute()
 
     # ------------------------------------------------------------- queries
@@ -65,7 +68,14 @@ class DominatorTree:
         return self.dominates_block(def_block, use_block)
 
     def dominance_frontier(self) -> Dict[BasicBlock, Set[BasicBlock]]:
-        """The dominance frontier of every reachable block."""
+        """The dominance frontier of every reachable block.
+
+        Memoized on the tree instance: a tree describes one CFG snapshot, so
+        the frontier cannot change for as long as the tree itself is valid
+        (repeated phi-placement queries used to recompute it per variable).
+        """
+        if self._frontier is not None:
+            return self._frontier
         frontier: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in self.rpo}
         preds = predecessor_map(self.function)
         for block in self.rpo:
@@ -79,6 +89,7 @@ class DominatorTree:
                     if runner is self.idom.get(runner):
                         break
                     runner = self.idom.get(runner)
+        self._frontier = frontier
         return frontier
 
     def iterated_dominance_frontier(self, blocks: Set[BasicBlock]) -> Set[BasicBlock]:

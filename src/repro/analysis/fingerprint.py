@@ -26,6 +26,7 @@ from ..ir.instructions import (
     PhiInst,
 )
 from ..ir.module import Module
+from .counters import count_construction
 
 #: The opcode buckets used by the fingerprint vector.  Related opcodes share a
 #: bucket so that small rewrites (e.g. ``add`` vs ``sub``) still rank close.
@@ -64,6 +65,7 @@ class Fingerprint:
 
     @classmethod
     def of(cls, function: Function) -> "Fingerprint":
+        count_construction("Fingerprint")
         counts = {bucket: 0 for bucket in _FINGERPRINT_BUCKETS}
         size = 0
         for inst in function.instructions():

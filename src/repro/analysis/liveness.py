@@ -16,6 +16,7 @@ from ..ir.function import Function
 from ..ir.instructions import Instruction, PhiInst
 from ..ir.values import Value
 from .cfg import predecessor_map, postorder
+from .counters import count_construction
 
 
 @dataclass
@@ -42,6 +43,7 @@ def compute_liveness(function: Function) -> LivenessInfo:
     Only instruction results are tracked (arguments and constants are always
     available and do not contribute to the coalescing heuristic).
     """
+    count_construction("LivenessInfo")
     use: Dict[BasicBlock, Set[Instruction]] = {}
     defs: Dict[BasicBlock, Set[Instruction]] = {}
     phi_uses: Dict[BasicBlock, Set[Instruction]] = {block: set() for block in function.blocks}

@@ -14,9 +14,13 @@ from .pipeline import PipelineResult, baseline_compile, make_pass_options, run_p
 from .experiments import (
     DEFAULT_MIBENCH_SUBSET,
     DEFAULT_SPEC_SUBSET,
+    AnalysisCacheResult,
+    AnalysisCacheRow,
     SearchComparisonResult,
     SearchComparisonRow,
+    analysis_cache_comparison,
     candidate_search_comparison,
+    merge_report_digest,
     search_workload,
     Figure5Result,
     Figure19Result,

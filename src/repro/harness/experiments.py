@@ -17,13 +17,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..analysis.counters import track_constructions
+from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import get_target
 from ..ir.interpreter import run_function
 from ..ir.module import Module
+from ..ir.verifier import verify_module
 from ..merge.pass_manager import FunctionMergingPass, MergeReport
 from ..search import SearchStrategy, make_index, topk_recall
 from ..search.stats import quality_recall
-from ..transforms.reg2mem import demote_function
+from ..transforms.mem2reg import promote_module
+from ..transforms.reg2mem import demote_function, demote_module
 from ..transforms.simplify import simplify_module
 from ..workloads.generator import FamilySpec, ProgramSpec, generate_program
 from ..workloads.mibench_like import MIBENCH, MiBenchSpec
@@ -600,6 +604,146 @@ class SearchComparisonResult:
                     and row.query_seconds > 0:
                 return reference.query_seconds / row.query_seconds
         return 0.0
+
+
+def merge_report_digest(report: MergeReport) -> Tuple:
+    """A deterministic summary of everything a merge run decided.
+
+    Excludes wall-clock fields, so two runs over identical modules must
+    produce equal digests — this is the bit-identity check used by the
+    analysis-cache comparison and the cached-vs-uncached parity tests.
+    """
+    return (
+        report.technique,
+        report.size_before,
+        report.size_after,
+        report.instructions_before,
+        report.instructions_after,
+        report.attempts,
+        report.profitable_merges,
+        tuple((r.first, r.second, r.merged, r.committed,
+               r.matched_instructions, r.alignment_dp_cells, r.decision)
+              for r in report.records),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analysis-cache comparison: the manager's recomputation savings (repro.analysis)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AnalysisCacheRow:
+    """One (module size, cached?) measurement of the analysis-manager workload."""
+
+    num_functions: int
+    cached: bool
+    wall_seconds: float
+    domtree_constructions: int
+    fingerprint_constructions: int
+    liveness_constructions: int
+    analysis_stats: Optional[AnalysisStats]
+    report_digest: Tuple
+
+
+@dataclass
+class AnalysisCacheResult:
+    """Cached-vs-uncached comparison rows, per module size."""
+
+    rows: List[AnalysisCacheRow] = field(default_factory=list)
+
+    def row(self, num_functions: int, cached: bool) -> Optional[AnalysisCacheRow]:
+        for row in self.rows:
+            if row.num_functions == num_functions and row.cached == cached:
+                return row
+        return None
+
+    def construction_ratio(self, num_functions: int, analysis: str) -> float:
+        """How many times more constructions the uncached run needed."""
+        uncached = self.row(num_functions, cached=False)
+        cached = self.row(num_functions, cached=True)
+        if uncached is None or cached is None:
+            return 0.0
+        counts = {
+            "DominatorTree": (uncached.domtree_constructions,
+                              cached.domtree_constructions),
+            "Fingerprint": (uncached.fingerprint_constructions,
+                            cached.fingerprint_constructions),
+            "LivenessInfo": (uncached.liveness_constructions,
+                             cached.liveness_constructions),
+        }
+        cold, warm = counts[analysis]
+        return cold / warm if warm else float("inf")
+
+    def speedup(self, num_functions: int) -> float:
+        uncached = self.row(num_functions, cached=False)
+        cached = self.row(num_functions, cached=True)
+        if uncached is None or cached is None or cached.wall_seconds <= 0:
+            return 0.0
+        return uncached.wall_seconds / cached.wall_seconds
+
+    def digests_match(self, num_functions: int) -> bool:
+        uncached = self.row(num_functions, cached=False)
+        cached = self.row(num_functions, cached=True)
+        return uncached is not None and cached is not None \
+            and uncached.report_digest == cached.report_digest
+
+
+def _analysis_cache_workload(module: Module,
+                             manager: Optional[ModuleAnalysisManager],
+                             technique: str, target: str) -> MergeReport:
+    """The multi-consumer workload whose analysis traffic the bench measures.
+
+    Mirrors one full experiment iteration: input-IR verification, the
+    Figure-5-style register demotion/promotion round trip, re-verification, a
+    candidate-search strategy comparison over the same module (two extra
+    index builds — what ``candidate_search_comparison`` does), the merging
+    pass itself and a post-merge verification.  Uncached, every stage
+    recomputes its dominator trees and fingerprints from scratch; with a
+    shared manager the tree built for the input verification survives the
+    whole demote/promote round trip (both declare the CFG analyses preserved)
+    and the SSA-repair tree is shared inside every merge attempt.
+    """
+    verify_module(module, raise_on_error=False, manager=manager)
+    demote_module(module, manager)
+    promote_module(module, manager)
+    verify_module(module, raise_on_error=False, manager=manager)
+    for strategy in ("exhaustive", "minhash_lsh"):
+        make_index(module, strategy, min_size=3, analysis_manager=manager)
+    options = make_pass_options(technique, 1, get_target(target))
+    report = FunctionMergingPass(options).run(module, analysis_manager=manager)
+    verify_module(module, raise_on_error=False, manager=manager)
+    return report
+
+
+def analysis_cache_comparison(sizes: Sequence[int] = (128, 256),
+                              technique: str = "salssa",
+                              target: str = "arm_thumb",
+                              seed: int = 7) -> AnalysisCacheResult:
+    """Compare analysis recomputation with and without the shared manager.
+
+    Both runs execute the identical deterministic workload on identically
+    generated modules; the merge-report digests must match bit for bit, the
+    construction counters must not.
+    """
+    result = AnalysisCacheResult()
+    for num_functions in sizes:
+        for cached in (False, True):
+            module = search_workload(num_functions, seed=seed)
+            manager = ModuleAnalysisManager(module) if cached else None
+            with track_constructions() as tracker:
+                started = time.perf_counter()
+                report = _analysis_cache_workload(module, manager, technique, target)
+                wall_seconds = time.perf_counter() - started
+            result.rows.append(AnalysisCacheRow(
+                num_functions=num_functions,
+                cached=cached,
+                wall_seconds=wall_seconds,
+                domtree_constructions=tracker.delta("DominatorTree"),
+                fingerprint_constructions=tracker.delta("Fingerprint"),
+                liveness_constructions=tracker.delta("LivenessInfo"),
+                analysis_stats=manager.stats if manager else None,
+                report_digest=merge_report_digest(report)))
+    return result
 
 
 def candidate_search_comparison(

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
 from ..search import SearchStrategy
 from ..ir.module import Module
@@ -40,6 +41,9 @@ class PipelineResult:
     merge_seconds: float
     report: Optional[MergeReport] = None
     peak_merge_bytes: int = 0
+    #: Cache hit/miss/invalidation counters of the module-level analysis
+    #: manager (None when the run was executed without analysis caching).
+    analysis_stats: Optional[AnalysisStats] = None
 
     @property
     def reduction_percent(self) -> float:
@@ -56,16 +60,18 @@ class PipelineResult:
             self.baseline_compile_seconds
 
 
-def baseline_compile(module: Module) -> float:
+def baseline_compile(module: Module,
+                     analysis_manager: Optional[ModuleAnalysisManager] = None
+                     ) -> float:
     """The "rest of the compiler" proxy: clean-up, verification and emission.
 
     Returns the time spent, which the compile-time experiment (Figure 24) uses
     as the denominator when normalising the merging overhead.
     """
     started = time.perf_counter()
-    promote_module(module)  # mem2reg runs early in any -O pipeline
-    simplify_module(module)
-    verify_module(module, raise_on_error=False)
+    promote_module(module, analysis_manager)  # mem2reg runs early in any -O pipeline
+    simplify_module(module, analysis_manager)
+    verify_module(module, raise_on_error=False, manager=analysis_manager)
     print_module(module)  # stands in for instruction selection / emission
     return time.perf_counter() - started
 
@@ -88,23 +94,36 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  threshold: int = 1, target: str = "x86_64",
                  phi_coalescing: bool = True,
                  measure_memory: bool = False,
-                 search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                 search_strategy: Union[str, SearchStrategy] = "exhaustive",
+                 analysis_manager: Optional[ModuleAnalysisManager] = None,
+                 analysis_caching: bool = True
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
     ``technique`` may be ``"salssa"``, ``"fmsa"`` or ``"none"`` (baseline only).
     ``search_strategy`` selects the candidate index the merge pass queries;
     the default keeps the seed's exhaustive ranking.
+
+    The pipeline owns a module-level :class:`ModuleAnalysisManager` shared by
+    the clean-up transforms, the verifier, the merge pass, its cost model and
+    the candidate index; its counters are surfaced on
+    :attr:`PipelineResult.analysis_stats`.  Pass ``analysis_caching=False``
+    (or an explicit ``analysis_manager``) to override — merge outcomes are
+    bit-identical with and without the cache, only the work differs.
     """
     size_model = get_target(target)
-    baseline_seconds = baseline_compile(module)
+    manager = analysis_manager
+    if manager is None and analysis_caching:
+        manager = ModuleAnalysisManager(module)
+    baseline_seconds = baseline_compile(module, manager)
     baseline_size = size_model.module_size(module)
     baseline_instructions = module.num_instructions()
 
     if technique == "none":
         return PipelineResult(benchmark, technique, threshold, baseline_size,
                               baseline_size, baseline_instructions,
-                              baseline_instructions, baseline_seconds, 0.0)
+                              baseline_instructions, baseline_seconds, 0.0,
+                              analysis_stats=manager.stats if manager else None)
 
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
                                 search_strategy=search_strategy)
@@ -113,9 +132,9 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     peak_bytes = 0
     started = time.perf_counter()
     if measure_memory:
-        report, peak_bytes = measure_peak_memory(merging_pass.run, module)
+        report, peak_bytes = measure_peak_memory(merging_pass.run, module, manager)
     else:
-        report = merging_pass.run(module)
+        report = merging_pass.run(module, analysis_manager=manager)
     merge_seconds = time.perf_counter() - started
 
     final_size = size_model.module_size(module)
@@ -131,4 +150,5 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         merge_seconds=merge_seconds,
         report=report,
         peak_merge_bytes=peak_bytes,
+        analysis_stats=manager.stats if manager else None,
     )

@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from ..analysis.manager import AnalysisStats
 from ..search.stats import SearchStats
 from .experiments import (
+    AnalysisCacheResult,
     SearchComparisonResult,
     Figure5Result,
     Figure19Result,
@@ -113,6 +115,36 @@ def format_figure24(result: Figure24Result) -> str:
         rows.append(("GMean", technique, threshold,
                      f"{result.geomean(technique, threshold):.2f}"))
     return format_table(("benchmark", "technique", "t", "normalized compile time"), rows)
+
+
+def format_analysis_stats(stats: AnalysisStats) -> str:
+    """One-line summary of an analysis manager's cache counters."""
+    recomputed = ", ".join(f"{name}: {count}" for name, count
+                           in sorted(stats.computed_by_analysis.items()))
+    return (f"analysis cache: {stats.hits} hits / {stats.misses} misses "
+            f"({100.0 * stats.hit_rate:.1f}% hit rate), "
+            f"{stats.invalidations} invalidations, "
+            f"{stats.preserved} preservations"
+            + (f" [{recomputed}]" if recomputed else ""))
+
+
+def format_analysis_cache(result: AnalysisCacheResult) -> str:
+    rows = []
+    for row in result.rows:
+        rows.append((row.num_functions, "cached" if row.cached else "uncached",
+                     f"{row.wall_seconds * 1e3:.0f} ms",
+                     row.domtree_constructions, row.fingerprint_constructions,
+                     f"{100.0 * row.analysis_stats.hit_rate:.1f}%"
+                     if row.analysis_stats else "n/a"))
+    sizes = sorted({row.num_functions for row in result.rows})
+    for size in sizes:
+        rows.append((size, "ratio",
+                     f"{result.speedup(size):.2f}x",
+                     f"{result.construction_ratio(size, 'DominatorTree'):.2f}x",
+                     f"{result.construction_ratio(size, 'Fingerprint'):.2f}x",
+                     "match" if result.digests_match(size) else "MISMATCH"))
+    return format_table(("#fns", "mode", "wall", "domtrees", "fingerprints",
+                         "hit rate / digest"), rows)
 
 
 def format_search_stats(stats: SearchStats) -> str:

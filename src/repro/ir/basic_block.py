@@ -21,6 +21,24 @@ class BasicBlock(Value):
         super().__init__(LABEL, name)
         self.parent = parent  # Function
         self.instructions: List[Instruction] = []
+        self._mutation_epoch = 0
+
+    # --------------------------------------------------------------- epochs
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter bumped on every structural change to this block."""
+        return self._mutation_epoch
+
+    def notify_mutated(self) -> None:
+        """Record a structural change, propagating to the parent function.
+
+        Cached analyses (see :mod:`repro.analysis.manager`) key their entries
+        on the function's epoch, so any bump invalidates them structurally.
+        """
+        self._mutation_epoch += 1
+        parent = self.parent
+        if parent is not None:
+            parent.notify_mutated()
 
     # ------------------------------------------------------------ contents
     def __iter__(self) -> Iterator[Instruction]:
@@ -33,11 +51,13 @@ class BasicBlock(Value):
         """Append an instruction to the end of the block."""
         instruction.parent = self
         self.instructions.append(instruction)
+        self.notify_mutated()
         return instruction
 
     def insert(self, index: int, instruction: Instruction) -> Instruction:
         instruction.parent = self
         self.instructions.insert(index, instruction)
+        self.notify_mutated()
         return instruction
 
     def insert_before(self, existing: Instruction, instruction: Instruction) -> Instruction:
@@ -55,6 +75,7 @@ class BasicBlock(Value):
     def remove_instruction(self, instruction: Instruction) -> None:
         self.instructions.remove(instruction)
         instruction.parent = None
+        self.notify_mutated()
 
     # ----------------------------------------------------------- structure
     @property
@@ -108,6 +129,7 @@ class BasicBlock(Value):
             instruction.drop_all_operands()
             instruction.parent = None
         self.instructions = []
+        self.notify_mutated()
         if self.parent is not None:
             self.parent.remove_block(self)
 

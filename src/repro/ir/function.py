@@ -24,6 +24,7 @@ class Function(GlobalValue):
         self.blocks: List[BasicBlock] = []
         self.args: List[Argument] = []
         self._next_value_id = 0
+        self._mutation_epoch = 0
         for index, param_type in enumerate(function_type.param_types):
             arg_name = arg_names[index] if arg_names and index < len(arg_names) else f"arg{index}"
             self.args.append(Argument(param_type, arg_name, parent=self, index=index))
@@ -35,6 +36,21 @@ class Function(GlobalValue):
 
     def is_declaration(self) -> bool:
         return not self.blocks
+
+    # --------------------------------------------------------------- epochs
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic counter bumped on every structural change to the function.
+
+        Blocks and instructions propagate their mutations here, so an analysis
+        cached at epoch ``e`` (see :mod:`repro.analysis.manager`) is valid
+        exactly while ``mutation_epoch == e``.
+        """
+        return self._mutation_epoch
+
+    def notify_mutated(self) -> None:
+        """Record a structural change (block list, instructions, operands)."""
+        self._mutation_epoch += 1
 
     # ------------------------------------------------------------- blocks
     @property
@@ -60,15 +76,18 @@ class Function(GlobalValue):
             self.blocks.insert(self.blocks.index(before), block)
         else:
             self.blocks.append(block)
+        self.notify_mutated()
         return block
 
     def remove_block(self, block: BasicBlock) -> None:
         self.blocks.remove(block)
         block.parent = None
+        self.notify_mutated()
 
     def move_block_after(self, block: BasicBlock, after: BasicBlock) -> None:
         self.blocks.remove(block)
         self.blocks.insert(self.blocks.index(after) + 1, block)
+        self.notify_mutated()
 
     # -------------------------------------------------------- instructions
     def instructions(self) -> Iterator[Instruction]:

@@ -92,6 +92,13 @@ class Instruction(User):
         """The function containing this instruction (or None if detached)."""
         return self.parent.parent if self.parent is not None else None
 
+    def _operands_mutated(self) -> None:
+        # Operand rewrites invalidate cached analyses of the enclosing
+        # function; detached instructions are accounted for on insertion.
+        parent = self.parent
+        if parent is not None:
+            parent.notify_mutated()
+
     def erase_from_parent(self) -> None:
         """Remove this instruction from its block and drop its operands."""
         if self.parent is not None:

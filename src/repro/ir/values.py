@@ -108,12 +108,16 @@ class User(Value):
         self._operands[index] = value
         if value is not None:
             value._add_use(self, index)
+        self._operands_mutated()
 
     def append_operand(self, value: Optional[Value]) -> int:
         """Append a new operand slot and return its index."""
         index = len(self._operands)
         self._operands.append(None)
-        self.set_operand(index, value)
+        if value is None:
+            self._operands_mutated()
+        else:
+            self.set_operand(index, value)
         return index
 
     def remove_operand(self, index: int) -> None:
@@ -131,6 +135,7 @@ class User(Value):
             value = self._operands[new_index]
             if value is not None:
                 value._add_use(self, new_index)
+        self._operands_mutated()
 
     def drop_all_operands(self) -> None:
         """Detach this user from all of its operands."""
@@ -138,6 +143,15 @@ class User(Value):
             if value is not None:
                 value._remove_use(self, index)
         self._operands = []
+        self._operands_mutated()
+
+    def _operands_mutated(self) -> None:
+        """Hook called after any operand-list change.
+
+        :class:`~repro.ir.instructions.Instruction` overrides this to bump the
+        mutation epoch of its enclosing function so cached analyses are
+        detected as stale structurally rather than by convention.
+        """
 
     def operand_values(self) -> Iterator[Value]:
         for operand in self._operands:

@@ -35,8 +35,14 @@ class VerificationError(Exception):
         self.errors = errors
 
 
-def verify_function(function: Function, raise_on_error: bool = True) -> List[str]:
-    """Verify one function; returns the list of problems found."""
+def verify_function(function: Function, raise_on_error: bool = True,
+                    manager=None) -> List[str]:
+    """Verify one function; returns the list of problems found.
+
+    ``manager`` is an optional :class:`repro.analysis.manager
+    .FunctionAnalysisManager`; when given, the dominance check reuses its
+    cached dominator tree / reachability instead of building fresh ones.
+    """
     errors: List[str] = []
     if function.is_declaration():
         return errors
@@ -49,7 +55,7 @@ def verify_function(function: Function, raise_on_error: bool = True) -> List[str
         errors.extend(_verify_block_structure(function, block, blocks))
 
     errors.extend(_verify_phi_nodes(function))
-    errors.extend(_verify_dominance(function))
+    errors.extend(_verify_dominance(function, manager))
     errors.extend(_verify_landing_pads(function))
 
     if errors and raise_on_error:
@@ -57,11 +63,13 @@ def verify_function(function: Function, raise_on_error: bool = True) -> List[str
     return errors
 
 
-def verify_module(module: Module, raise_on_error: bool = True) -> List[str]:
+def verify_module(module: Module, raise_on_error: bool = True,
+                  manager=None) -> List[str]:
     """Verify every defined function in a module."""
     errors: List[str] = []
     for function in module.defined_functions():
-        errors.extend(verify_function(function, raise_on_error=False))
+        errors.extend(verify_function(function, raise_on_error=False,
+                                      manager=manager))
     if errors and raise_on_error:
         raise VerificationError(errors)
     return errors
@@ -120,7 +128,7 @@ def _is_trackable_local(value: Value) -> bool:
     return isinstance(value, Instruction)
 
 
-def _verify_dominance(function: Function) -> List[str]:
+def _verify_dominance(function: Function, manager=None) -> List[str]:
     """Check the SSA dominance property for every instruction operand."""
     # Imported lazily to avoid a circular import between repro.ir and
     # repro.analysis (the analyses operate on the IR classes).
@@ -130,8 +138,12 @@ def _verify_dominance(function: Function) -> List[str]:
     errors: List[str] = []
     if function.entry_block is None:
         return errors
-    domtree = DominatorTree(function)
-    reachable = reachable_blocks(function)
+    if manager is not None:
+        domtree = manager.domtree(function)
+        reachable = manager.reachable(function)
+    else:
+        domtree = DominatorTree(function)
+        reachable = reachable_blocks(function)
 
     for block in function.blocks:
         if block not in reachable:

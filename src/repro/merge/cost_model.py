@@ -46,21 +46,27 @@ class CostModel:
     #: Require at least this many bytes of estimated benefit before committing.
     minimum_benefit: int = 1
 
-    def function_size(self, function: Function) -> int:
+    def function_size(self, function: Function, manager=None) -> int:
+        """Estimated size of ``function``; cached per mutation epoch when a
+        :class:`repro.analysis.manager.FunctionAnalysisManager` is given."""
+        if manager is not None:
+            return manager.function_size(function, self.size_model)
         return self.size_model.function_size(function)
 
     def evaluate(self, function_a: Function, function_b: Function, merged: Function,
                  size_a: Optional[int] = None, size_b: Optional[int] = None,
-                 kept_thunks: int = 2) -> MergeDecision:
+                 kept_thunks: int = 2, manager=None) -> MergeDecision:
         """Decide whether replacing ``function_a``/``function_b`` by ``merged`` pays off.
 
         ``size_a``/``size_b`` allow the caller to pass the *original* sizes
         (before any preprocessing such as register demotion) so that FMSA is
         judged against the same baseline as SalSSA.
         """
-        original = (size_a if size_a is not None else self.function_size(function_a)) + \
-                   (size_b if size_b is not None else self.function_size(function_b))
-        merged_size = self.function_size(merged)
+        original = (size_a if size_a is not None
+                    else self.function_size(function_a, manager)) + \
+                   (size_b if size_b is not None
+                    else self.function_size(function_b, manager))
+        merged_size = self.function_size(merged, manager)
         overhead = kept_thunks * self.thunk_overhead
         profitable = original - merged_size - overhead >= self.minimum_benefit
         return MergeDecision(profitable, original, merged_size, overhead)

@@ -49,9 +49,14 @@ class FMSAOptions:
 class FMSAMerger:
     """Merges pairs of functions the FMSA way: demote, align, merge, promote."""
 
-    def __init__(self, module: Module, options: Optional[FMSAOptions] = None) -> None:
+    def __init__(self, module: Module, options: Optional[FMSAOptions] = None,
+                 analysis_manager=None) -> None:
         self.module = module
         self.options = options or FMSAOptions()
+        #: Shared analysis manager for work on module-resident functions (the
+        #: merged result).  The scratch clones are transient and never reuse
+        #: an analysis, so they deliberately stay outside the shared cache.
+        self.analysis_manager = analysis_manager
         # The sequence-driven generator shared with SalSSA, minus the SSA-form
         # specific optimisations that FMSA does not have.
         self._generator = SalSSAMerger(module, SalSSAOptions(
@@ -60,7 +65,7 @@ class FMSAMerger:
             xor_branch_folding=False,
             run_simplification=False,
             verify_result=False,
-        ))
+        ), analysis_manager=analysis_manager)
 
     def merge(self, first: Function, second: Function,
               name: Optional[str] = None) -> MergedFunction:
@@ -89,9 +94,9 @@ class FMSAMerger:
                                        alignment=alignment)
         # Post-merge clean-up: promote what is still promotable and simplify.
         started = time.perf_counter()
-        promote_allocas(merged.function)
+        promote_allocas(merged.function, self.analysis_manager)
         if self.options.run_simplification:
-            simplify_function(merged.function)
+            simplify_function(merged.function, manager=self.analysis_manager)
         merged.stats.codegen_seconds += time.perf_counter() - started
         merged.stats.alignment_seconds = alignment_seconds
 

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Union
 
+from ..analysis.manager import ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64
 from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
 from ..ir.basic_block import BasicBlock
@@ -117,8 +118,20 @@ class FunctionMergingPass:
         self.search_strategy = resolve_strategy(self.options.search_strategy)
 
     # ------------------------------------------------------------ interface
-    def run(self, module: Module) -> MergeReport:
+    def run(self, module: Module,
+            analysis_manager: Optional[ModuleAnalysisManager] = None) -> MergeReport:
+        """Run the pass over ``module``.
+
+        ``analysis_manager`` is threaded through the candidate index (shared
+        fingerprints), the cost model (function sizes cached across the
+        candidate loop), the mergers' SSA repair and the optional verifier.
+        Without one, every consumer computes its analyses from scratch — the
+        reported merges are bit-identical either way.
+        """
         options = self.options
+        manager = analysis_manager
+        # One cost model for the whole run; resolving it per attempt built a
+        # fresh instance in the hot candidate loop.
         cost_model = options.resolved_cost_model()
         report = MergeReport(options.technique, options.exploration_threshold,
                              search_strategy=self.search_strategy.name)
@@ -126,15 +139,22 @@ class FunctionMergingPass:
         report.instructions_before = module.num_instructions()
         start_time = time.perf_counter()
 
-        merger = self._make_merger(module)
+        merger = self._make_merger(module, manager)
         original_sizes: Dict[Function, int] = {
-            f: cost_model.function_size(f) for f in module.defined_functions()}
+            f: cost_model.function_size(f, manager)
+            for f in module.defined_functions()}
 
         index = make_index(module, self.search_strategy,
-                           min_size=options.min_function_size)
+                           min_size=options.min_function_size,
+                           analysis_manager=manager)
         report.search_stats = index.stats
         consumed: Set[Function] = set()
         worklist = index.functions_by_size()
+
+        def discard(merged: MergedFunction) -> None:
+            module.remove_function(merged.function)
+            if manager is not None:
+                manager.forget(merged.function)
 
         position = 0
         while position < len(worklist):
@@ -149,34 +169,36 @@ class FunctionMergingPass:
                 other = candidate.function
                 if other in consumed or other.parent is not module:
                     continue
-                attempt = self._attempt(merger, module, function, other, report)
+                attempt = self._attempt(merger, module, function, other, report,
+                                        cost_model, manager)
                 if attempt is None:
                     continue
                 merged, decision = attempt
                 better = best_decision is None or decision.benefit > best_decision.benefit
                 if better:
                     if best is not None:
-                        module.remove_function(best.function)
+                        discard(best)
                     best, best_decision = merged, decision
                 else:
-                    module.remove_function(merged.function)
+                    discard(merged)
 
             if best is not None and best_decision is not None and best_decision.profitable:
-                self._commit(module, best, report)
+                self._commit(module, best, report, manager)
                 consumed.add(best.first)
                 consumed.add(best.second)
                 index.remove(best.first)
                 index.remove(best.second)
-                original_sizes[best.function] = cost_model.function_size(best.function)
+                original_sizes[best.function] = cost_model.function_size(
+                    best.function, manager)
                 if options.allow_remerge:
                     index.update(best.function)
                     worklist.append(best.function)
                 report.profitable_merges += 1
             elif best is not None:
-                module.remove_function(best.function)
+                discard(best)
 
         if options.technique == "fmsa" and options.model_fmsa_residue:
-            self._apply_fmsa_residue(module, consumed)
+            self._apply_fmsa_residue(module, consumed, manager)
 
         report.size_after = options.size_model.module_size(module)
         report.instructions_after = module.num_instructions()
@@ -185,14 +207,17 @@ class FunctionMergingPass:
         return report
 
     # ------------------------------------------------------------ internals
-    def _make_merger(self, module: Module):
+    def _make_merger(self, module: Module,
+                     manager: Optional[ModuleAnalysisManager] = None):
         if self.options.technique == "fmsa":
-            return FMSAMerger(module, self.options.fmsa)
-        return SalSSAMerger(module, self.options.salssa)
+            return FMSAMerger(module, self.options.fmsa, analysis_manager=manager)
+        return SalSSAMerger(module, self.options.salssa, analysis_manager=manager)
 
     def _attempt(self, merger, module: Module, function: Function, other: Function,
-                 report: MergeReport):
-        cost_model = self.options.resolved_cost_model()
+                 report: MergeReport, cost_model: Optional[CostModel] = None,
+                 manager: Optional[ModuleAnalysisManager] = None):
+        if cost_model is None:
+            cost_model = self.options.resolved_cost_model()
         if function.return_type != other.return_type:
             return None
         report.attempts += 1
@@ -206,10 +231,11 @@ class FunctionMergingPass:
         report.total_alignment_cells += stats.alignment_dp_cells
         report.peak_alignment_cells = max(report.peak_alignment_cells,
                                           stats.alignment_dp_cells)
-        size_a = cost_model.function_size(function)
-        size_b = cost_model.function_size(other)
+        size_a = cost_model.function_size(function, manager)
+        size_b = cost_model.function_size(other, manager)
         decision = cost_model.evaluate(function, other, merged.function,
-                                       size_a=size_a, size_b=size_b)
+                                       size_a=size_a, size_b=size_b,
+                                       manager=manager)
         report.records.append(MergeRecord(
             first=function.name, second=other.name, merged=merged.function.name,
             decision=decision, committed=False,
@@ -219,9 +245,10 @@ class FunctionMergingPass:
             alignment_dp_cells=stats.alignment_dp_cells))
         return merged, decision
 
-    def _commit(self, module: Module, merged: MergedFunction, report: MergeReport) -> None:
+    def _commit(self, module: Module, merged: MergedFunction, report: MergeReport,
+                manager: Optional[ModuleAnalysisManager] = None) -> None:
         if self.options.verify:
-            verify_function(merged.function)
+            verify_function(merged.function, manager=manager)
         replace_with_thunk(merged, 0, merged.first)
         replace_with_thunk(merged, 1, merged.second)
         for record in reversed(report.records):
@@ -229,7 +256,8 @@ class FunctionMergingPass:
                 record.committed = True
                 break
 
-    def _apply_fmsa_residue(self, module: Module, consumed: Set[Function]) -> None:
+    def _apply_fmsa_residue(self, module: Module, consumed: Set[Function],
+                            manager: Optional[ModuleAnalysisManager] = None) -> None:
         """FMSA demotes every function before merging; functions that end up
         unmerged still go through the demote/promote round trip (the residue)."""
         from ..transforms.mem2reg import promote_allocas
@@ -239,9 +267,9 @@ class FunctionMergingPass:
         for function in module.defined_functions():
             if function in consumed:
                 continue
-            demote_function(function)
-            promote_allocas(function)
-            simplify_function(function)
+            demote_function(function, manager)
+            promote_allocas(function, manager)
+            simplify_function(function, manager=manager)
 
 
 def replace_with_thunk(merged: MergedFunction, which: int, original: Function) -> None:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...analysis.cfg import reachable_blocks
 from ...analysis.dominators import DominatorTree
+from ...analysis.manager import CFG_ANALYSES
 from ...ir.basic_block import BasicBlock
 from ...ir.function import Function
 from ...ir.instructions import (
@@ -133,9 +134,15 @@ class MergedFunction:
 class SalSSAMerger:
     """Merges pairs of functions in full SSA form (the paper's contribution)."""
 
-    def __init__(self, module: Module, options: Optional[SalSSAOptions] = None) -> None:
+    def __init__(self, module: Module, options: Optional[SalSSAOptions] = None,
+                 analysis_manager=None) -> None:
         self.module = module
         self.options = options or SalSSAOptions()
+        #: Optional shared analysis manager (see repro.analysis.manager): SSA
+        #: repair, the dominance-violation scan, simplification and
+        #: verification of the merged function then share one dominator tree
+        #: instead of each building their own.
+        self.analysis_manager = analysis_manager
 
     # ------------------------------------------------------------ interface
     def merge(self, first: Function, second: Function, name: Optional[str] = None,
@@ -147,7 +154,8 @@ class SalSSAMerger:
             raise MergeError(
                 f"@{first.name} and @{second.name} have different return types")
 
-        state = _MergeState(self.module, first, second, self.options)
+        state = _MergeState(self.module, first, second, self.options,
+                            self.analysis_manager)
         started = time.perf_counter()
         if alignment is None:
             alignment = align(linearize(first), linearize(second))
@@ -168,9 +176,9 @@ class SalSSAMerger:
 
         merged = state.merged
         if self.options.run_simplification:
-            simplify_function(merged)
+            simplify_function(merged, manager=self.analysis_manager)
         if self.options.verify_result:
-            verify_function(merged)
+            verify_function(merged, manager=self.analysis_manager)
         return MergedFunction(merged, first, second, state.param_map, state.stats)
 
 
@@ -182,10 +190,11 @@ class _MergeState:
     """All bookkeeping for one merge: value map, block map, chains, stats."""
 
     def __init__(self, module: Module, first: Function, second: Function,
-                 options: SalSSAOptions) -> None:
+                 options: SalSSAOptions, analysis_manager=None) -> None:
         self.module = module
         self.inputs = (first, second)
         self.options = options
+        self.analysis_manager = analysis_manager
         self.stats = MergeStats()
 
         self.merged: Optional[Function] = None
@@ -580,14 +589,21 @@ class _MergeState:
     # ----------------------------------------------------------- SSA repair
     def repair_ssa(self) -> None:
         """Restore the dominance property (§4.3) with phi-node coalescing (§4.4)."""
-        reconstructor = SSAReconstructor(self.merged)
+        reconstructor = SSAReconstructor(self.merged, self.analysis_manager)
 
         # Merge replacement landing pads feeding the same original landing block.
         for landing_block, pads in self.landingpad_groups.items():
             original_pad = self._original_landingpad(landing_block)
             if original_pad is not None:
+                # Superseding a pad rewrites operands and drops one non-
+                # terminator instruction — no CFG change, so the analyses the
+                # reconstructor just loaded stay valid.
+                epoch = self.merged.mutation_epoch
                 original_pad.replace_all_uses_with(pads[0])
                 original_pad.erase_from_parent()
+                if self.analysis_manager is not None:
+                    self.analysis_manager.mark_preserved(
+                        self.merged, CFG_ANALYSES, since=epoch)
             if len(pads) >= 1:
                 result = reconstructor.reconstruct(pads)
                 self.stats.repair_phis += len(result.inserted_phis)
@@ -610,8 +626,15 @@ class _MergeState:
 
     def _find_dominance_violations(self) -> List[Instruction]:
         """Instruction-defined values with at least one non-dominated use."""
-        domtree = DominatorTree(self.merged)
-        reachable = reachable_blocks(self.merged)
+        if self.analysis_manager is not None:
+            # SSA repair and landing-pad superseding both preserve the CFG
+            # analyses, so this reuses the tree the reconstructor just built
+            # instead of constructing a second one per merge.
+            domtree = self.analysis_manager.domtree(self.merged)
+            reachable = self.analysis_manager.reachable(self.merged)
+        else:
+            domtree = DominatorTree(self.merged)
+            reachable = reachable_blocks(self.merged)
         violating: List[Instruction] = []
         seen: set = set()
         for block in self.merged.blocks:

@@ -61,11 +61,17 @@ class CandidateIndex(ABC):
 
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
-                 stats: Optional[SearchStats] = None) -> None:
+                 stats: Optional[SearchStats] = None,
+                 analysis_manager=None) -> None:
         self.module = module
         self.min_size = min_size
         self.strategy = strategy or resolve_strategy(self.strategy_name)
         self.stats = stats or SearchStats(strategy=self.strategy.name)
+        #: Optional repro.analysis.manager manager: fingerprints are then
+        #: pulled from the shared per-function cache (and stay valid across
+        #: index rebuilds for functions the merge pass never touched) instead
+        #: of being computed privately by every index.
+        self.analysis_manager = analysis_manager
         self.fingerprints: Dict[Function, Fingerprint] = {}
         for function in module.defined_functions():
             # Initial build: populate without touching the maintenance stats,
@@ -104,7 +110,10 @@ class CandidateIndex(ABC):
     def _index_function(self, function: Function) -> bool:
         if function.num_instructions() < self.min_size:
             return False
-        fingerprint = Fingerprint.of(function)
+        if self.analysis_manager is not None:
+            fingerprint = self.analysis_manager.fingerprint(function)
+        else:
+            fingerprint = Fingerprint.of(function)
         self.fingerprints[function] = fingerprint
         self._insert(function, fingerprint)
         return True
@@ -127,9 +136,7 @@ class CandidateIndex(ABC):
             return []
         exclude = exclude or set()
         floor = self.strategy.similarity_floor
-        pairs = [(other, other_fingerprint) for other, other_fingerprint
-                 in self._candidate_pool(function, fingerprint, threshold, exclude)
-                 if other is not function and other not in exclude]
+        pairs = list(self._candidate_pool(function, fingerprint, threshold, exclude))
         ranked = rank_candidates(fingerprint, pairs, threshold, floor)
         scanned = len(pairs)
         # Fall back only when the *probe pool* was too small — if the pool
@@ -142,10 +149,10 @@ class CandidateIndex(ABC):
             # the rest of the population.  Only the complement is scored —
             # the probe's short top-k merges with the complement's.
             seen = {other for other, _ in pairs}
-            extra = [(other, other_fingerprint)
-                     for other, other_fingerprint in self.fingerprints.items()
-                     if other is not function and other not in exclude
-                     and other not in seen]
+            extra = [(other, other_fingerprint) for other, other_fingerprint
+                     in self._filter_pairs(self.fingerprints.items(),
+                                           function, exclude)
+                     if other not in seen]
             if extra:
                 ranked = self._merge_ranked(
                     ranked, rank_candidates(fingerprint, extra, threshold, floor),
@@ -170,6 +177,19 @@ class CandidateIndex(ABC):
                                      c.function.name))
         return combined[:threshold]
 
+    def _filter_pairs(self, pairs: "Iterable[Tuple[Function, Fingerprint]]",
+                      function: Function, exclude: set
+                      ) -> List[Tuple[Function, Fingerprint]]:
+        """Drop the query function and excluded entries from a candidate pool.
+
+        The single home of the self/exclude pre-filter: every
+        ``_candidate_pool`` implementation routes through it, and
+        :meth:`candidates_for` trusts the returned pool (it used to re-filter
+        defensively, doing the same membership tests twice per candidate).
+        """
+        return [(other, other_fingerprint) for other, other_fingerprint in pairs
+                if other is not function and other not in exclude]
+
     # ------------------------------------------------------------- subclass
     @abstractmethod
     def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
@@ -185,9 +205,9 @@ class CandidateIndex(ABC):
                         ) -> Iterable[Tuple[Function, Fingerprint]]:
         """``(function, fingerprint)`` pairs a query should score.
 
-        May still contain the query function or excluded entries; the caller
-        filters.  Yielding pairs keeps the exhaustive hot path at the seed's
-        cost (one dict iteration, no per-candidate lookups).
+        Must not contain the query function or excluded entries — route the
+        raw pool through :meth:`_filter_pairs` (the caller trusts the result
+        and does not re-filter).
         """
 
 
@@ -205,7 +225,7 @@ class ExhaustiveIndex(CandidateIndex):
     def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
                         threshold: int, exclude: set
                         ) -> Iterable[Tuple[Function, Fingerprint]]:
-        return self.fingerprints.items()
+        return self._filter_pairs(self.fingerprints.items(), function, exclude)
 
 
 class SizeBucketIndex(CandidateIndex):
@@ -225,10 +245,12 @@ class SizeBucketIndex(CandidateIndex):
 
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
-                 stats: Optional[SearchStats] = None) -> None:
+                 stats: Optional[SearchStats] = None,
+                 analysis_manager=None) -> None:
         # Insertion-ordered dicts keep per-bucket membership deterministic.
         self._buckets: Dict[int, Dict[Function, Fingerprint]] = {}
-        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats)
+        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
+                         analysis_manager=analysis_manager)
 
     @staticmethod
     def _bucket_of(size: int) -> int:
@@ -258,8 +280,8 @@ class SizeBucketIndex(CandidateIndex):
             for bucket in occupied:
                 if bucket not in included and abs(bucket - center) <= radius:
                     included.add(bucket)
-                    pool.extend(pair for pair in self._buckets[bucket].items()
-                                if pair[0] is not function and pair[0] not in exclude)
+                    pool.extend(self._filter_pairs(self._buckets[bucket].items(),
+                                                   function, exclude))
             if len(pool) >= threshold or len(included) == len(occupied):
                 return pool
             radius += 1
@@ -301,7 +323,8 @@ class MinHashLSHIndex(CandidateIndex):
 
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
-                 stats: Optional[SearchStats] = None) -> None:
+                 stats: Optional[SearchStats] = None,
+                 analysis_manager=None) -> None:
         strategy = strategy or resolve_strategy(self.strategy_name)
         self._num_bands = max(1, strategy.num_bands)
         self._rows = max(1, strategy.rows_per_band)
@@ -316,7 +339,8 @@ class MinHashLSHIndex(CandidateIndex):
         self._tables: List[Dict[Tuple[int, ...], Dict[Function, Fingerprint]]] = [
             {} for _ in range(self._num_bands + self._fp_bands)]
         self._signatures: Dict[Function, Tuple[int, ...]] = {}
-        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats)
+        super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
+                         analysis_manager=analysis_manager)
 
     # ------------------------------------------------------------ signatures
     def _signature(self, function: Function, fingerprint: Fingerprint) -> Tuple[int, ...]:
@@ -381,12 +405,9 @@ class MinHashLSHIndex(CandidateIndex):
         pool: Dict[Function, Fingerprint] = {}
         for band, key in self._band_keys(signature):
             members = self._tables[band].get(key)
-            if not members:
-                continue
-            for other, other_fingerprint in members.items():
-                if other is not function and other not in exclude:
-                    pool[other] = other_fingerprint
-        return pool.items()
+            if members:
+                pool.update(members)
+        return self._filter_pairs(pool.items(), function, exclude)
 
 
 register_strategy(ExhaustiveIndex.strategy_name, ExhaustiveIndex)

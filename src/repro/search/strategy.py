@@ -97,11 +97,18 @@ def resolve_strategy(strategy: Union[str, SearchStrategy, None]) -> SearchStrate
 
 def make_index(module, strategy: Union[str, SearchStrategy, None] = None,
                min_size: int = 2,
-               stats: Optional[SearchStats] = None):
-    """Build a :class:`CandidateIndex` over ``module`` for ``strategy``."""
+               stats: Optional[SearchStats] = None,
+               analysis_manager=None):
+    """Build a :class:`CandidateIndex` over ``module`` for ``strategy``.
+
+    ``analysis_manager`` (see :mod:`repro.analysis.manager`) makes the index
+    pull function fingerprints from the shared per-function cache instead of
+    computing its own.
+    """
     resolved = resolve_strategy(strategy)
     factory = _REGISTRY[resolved.name]
-    return factory(module, min_size=min_size, strategy=resolved, stats=stats)
+    return factory(module, min_size=min_size, strategy=resolved, stats=stats,
+                   analysis_manager=analysis_manager)
 
 
 def _ensure_builtin_strategies() -> None:

@@ -8,8 +8,9 @@ the thunk-rewriting step of the pass manager.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
+from ..analysis.manager import CFG_ANALYSES, FunctionAnalysisManager
 from ..ir.function import Function
 from ..ir.instructions import AllocaInst, Instruction, LoadInst, StoreInst
 from ..ir.module import Module
@@ -26,10 +27,16 @@ def is_trivially_dead(inst: Instruction) -> bool:
     return not inst.has_side_effects()
 
 
-def eliminate_dead_code(function: Function) -> int:
-    """Remove trivially dead instructions; returns how many were deleted."""
+def eliminate_dead_code(function: Function,
+                        manager: Optional[FunctionAnalysisManager] = None) -> int:
+    """Remove trivially dead instructions; returns how many were deleted.
+
+    DCE never removes terminators or blocks, so with a ``manager`` it declares
+    the CFG analyses preserved across its deletions.
+    """
     if function.is_declaration():
         return 0
+    epoch = function.mutation_epoch
     removed = 0
     changed = True
     while changed:
@@ -44,6 +51,8 @@ def eliminate_dead_code(function: Function) -> int:
         dead_stack = _remove_dead_alloca_stores(function)
         removed += dead_stack
         changed |= bool(dead_stack)
+    if manager is not None and removed:
+        manager.mark_preserved(function, CFG_ANALYSES, since=epoch)
     return removed
 
 
@@ -63,6 +72,8 @@ def _remove_dead_alloca_stores(function: Function) -> int:
     return removed
 
 
-def eliminate_dead_code_module(module: Module) -> Dict[Function, int]:
+def eliminate_dead_code_module(module: Module,
+                               manager: Optional[FunctionAnalysisManager] = None
+                               ) -> Dict[Function, int]:
     """Run DCE over every defined function of a module."""
-    return {f: eliminate_dead_code(f) for f in module.defined_functions()}
+    return {f: eliminate_dead_code(f, manager) for f in module.defined_functions()}

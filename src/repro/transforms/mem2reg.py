@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..analysis.cfg import predecessor_map, reachable_blocks
 from ..analysis.dominators import DominatorTree
+from ..analysis.manager import CFG_ANALYSES, FunctionAnalysisManager
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -72,8 +73,15 @@ class Mem2RegStats:
     inserted_phis: int = 0
 
 
-def promote_allocas(function: Function) -> Mem2RegStats:
-    """Promote every promotable stack slot of ``function`` into SSA values."""
+def promote_allocas(function: Function,
+                    manager: Optional[FunctionAnalysisManager] = None) -> Mem2RegStats:
+    """Promote every promotable stack slot of ``function`` into SSA values.
+
+    With a ``manager``, the CFG analyses are pulled from (and kept in) the
+    shared cache: promotion inserts/removes only non-terminator instructions,
+    so it declares :data:`~repro.analysis.manager.CFG_ANALYSES` preserved.
+    Either way the dominator tree is built at most once per promotion round.
+    """
     stats = Mem2RegStats()
     if function.is_declaration() or function.entry_block is None:
         return stats
@@ -88,19 +96,29 @@ def promote_allocas(function: Function) -> Mem2RegStats:
     if not promotable:
         return stats
 
-    domtree = DominatorTree(function)
-    reachable = reachable_blocks(function)
-    preds = predecessor_map(function)
+    epoch = function.mutation_epoch
+    if manager is not None:
+        domtree = manager.domtree(function)
+        reachable = manager.reachable(function)
+        preds = manager.predecessors(function)
+    else:
+        domtree = DominatorTree(function)
+        reachable = reachable_blocks(function)
+        preds = predecessor_map(function)
 
     for alloca in promotable:
         _promote_one(function, alloca, domtree, reachable, preds, stats)
         stats.promoted_allocas += 1
+    if manager is not None:
+        manager.mark_preserved(function, CFG_ANALYSES, since=epoch)
     return stats
 
 
-def promote_module(module: Module) -> Dict[Function, Mem2RegStats]:
+def promote_module(module: Module,
+                   manager: Optional[FunctionAnalysisManager] = None
+                   ) -> Dict[Function, Mem2RegStats]:
     """Promote allocas in every defined function of a module."""
-    return {f: promote_allocas(f) for f in module.defined_functions()}
+    return {f: promote_allocas(f, manager) for f in module.defined_functions()}
 
 
 def _promote_one(function: Function, alloca: AllocaInst, domtree: DominatorTree,
@@ -215,17 +233,27 @@ class SSAReconstructor:
     registered use to the value reaching it.
     """
 
-    def __init__(self, function: Function) -> None:
+    def __init__(self, function: Function,
+                 manager: Optional[FunctionAnalysisManager] = None) -> None:
         self.function = function
-        self.domtree = DominatorTree(function)
-        self.preds = predecessor_map(function)
-        self.reachable = reachable_blocks(function)
+        # A private manager still deduplicates the reconstructor's own repeated
+        # queries; a shared one additionally lets other consumers (codegen's
+        # violation scan, the verifier) reuse the same dominator tree.
+        self.manager = manager or FunctionAnalysisManager()
+        self._load()
+
+    def _load(self) -> None:
+        self.domtree = self.manager.domtree(self.function)
+        self.preds = self.manager.predecessors(self.function)
+        self.reachable = self.manager.reachable(self.function)
 
     def refresh(self) -> None:
-        """Recompute CFG-derived state after the function has been edited."""
-        self.domtree = DominatorTree(self.function)
-        self.preds = predecessor_map(self.function)
-        self.reachable = reachable_blocks(self.function)
+        """Recompute CFG-derived state after the function has been edited.
+
+        Epoch-aware: analyses still stamped with the current mutation epoch
+        are reused, anything stale is recomputed.
+        """
+        self._load()
 
     def reconstruct(self, definitions: Sequence[Instruction],
                     value_type: Optional[Type] = None) -> ReconstructionResult:
@@ -255,6 +283,7 @@ class SSAReconstructor:
                     use_records.append((user, index, definition))
         if not use_records:
             return result
+        epoch = self.function.mutation_epoch
 
         def_blocks: Set[BasicBlock] = {entry}
         def_blocks.update(d.parent for d in definitions if d.parent in self.reachable)
@@ -314,6 +343,10 @@ class SSAReconstructor:
             for pred in self.preds.get(block, []):
                 phi.add_incoming(outgoing.get(pred, undef), pred)
 
+        # Reconstruction inserts phi-nodes and rewrites operands but never
+        # touches block structure or terminators, so the CFG analyses remain
+        # valid for the epochs this call is responsible for.
+        self.manager.mark_preserved(self.function, CFG_ANALYSES, since=epoch)
         return result
 
     def _live_in_blocks(self, definition_set: Set[Instruction],

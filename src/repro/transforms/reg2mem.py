@@ -21,8 +21,9 @@ by the Figure 5 experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..analysis.manager import CFG_ANALYSES, FunctionAnalysisManager
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -51,8 +52,14 @@ class Reg2MemStats:
         return self.inserted_allocas + self.inserted_loads + self.inserted_stores
 
 
-def demote_function(function: Function) -> Reg2MemStats:
-    """Demote phi-nodes and cross-block registers of ``function`` to the stack."""
+def demote_function(function: Function,
+                    manager: Optional[FunctionAnalysisManager] = None) -> Reg2MemStats:
+    """Demote phi-nodes and cross-block registers of ``function`` to the stack.
+
+    Demotion spills values through fresh allocas/loads/stores but never adds,
+    removes or re-targets a block, so with a ``manager`` it declares the CFG
+    analyses preserved (liveness, fingerprints and sizes go stale as usual).
+    """
     stats = Reg2MemStats()
     if function.is_declaration():
         return stats
@@ -60,14 +67,19 @@ def demote_function(function: Function) -> Reg2MemStats:
     if entry is None:
         return stats
 
+    epoch = function.mutation_epoch
     _demote_phis(function, entry, stats)
     _demote_cross_block_registers(function, entry, stats)
+    if manager is not None:
+        manager.mark_preserved(function, CFG_ANALYSES, since=epoch)
     return stats
 
 
-def demote_module(module: Module) -> Dict[Function, Reg2MemStats]:
+def demote_module(module: Module,
+                  manager: Optional[FunctionAnalysisManager] = None
+                  ) -> Dict[Function, Reg2MemStats]:
     """Demote every defined function of a module; returns per-function stats."""
-    return {f: demote_function(f) for f in module.defined_functions()}
+    return {f: demote_function(f, manager) for f in module.defined_functions()}
 
 
 # ---------------------------------------------------------------------------

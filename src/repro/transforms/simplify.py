@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.cfg import reachable_blocks
+from ..analysis.manager import FunctionAnalysisManager
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import (
@@ -55,21 +56,29 @@ class SimplifyStats:
                 self.removed_phis + self.folded_selects + self.removed_instructions)
 
 
-def simplify_function(function: Function, max_iterations: int = 50) -> SimplifyStats:
-    """Run the simplification pipeline on one function until a fixed point."""
+def simplify_function(function: Function, max_iterations: int = 50,
+                      manager: Optional[FunctionAnalysisManager] = None
+                      ) -> SimplifyStats:
+    """Run the simplification pipeline on one function until a fixed point.
+
+    Simplification removes and merges blocks, so it preserves no analyses —
+    a ``manager`` only serves its internal reachability queries (which hit the
+    cache whenever the previous iteration left the function unchanged) and the
+    delegated DCE's preservation declarations.
+    """
     stats = SimplifyStats()
     if function.is_declaration():
         return stats
     for _ in range(max_iterations):
         changed = False
-        changed |= _remove_unreachable_blocks(function, stats)
+        changed |= _remove_unreachable_blocks(function, stats, manager)
         changed |= _fold_constant_branches(function, stats)
         changed |= _simplify_phis(function, stats)
         changed |= _fold_selects(function, stats)
         changed |= _remove_dead_phi_webs(function, stats)
         changed |= _remove_forwarding_blocks(function, stats)
         changed |= _merge_straightline_blocks(function, stats)
-        removed = eliminate_dead_code(function)
+        removed = eliminate_dead_code(function, manager)
         stats.removed_instructions += removed
         changed |= bool(removed)
         if not changed:
@@ -77,17 +86,23 @@ def simplify_function(function: Function, max_iterations: int = 50) -> SimplifyS
     return stats
 
 
-def simplify_module(module: Module) -> Dict[Function, SimplifyStats]:
+def simplify_module(module: Module,
+                    manager: Optional[FunctionAnalysisManager] = None
+                    ) -> Dict[Function, SimplifyStats]:
     """Simplify every defined function of a module."""
-    return {f: simplify_function(f) for f in module.defined_functions()}
+    return {f: simplify_function(f, manager=manager)
+            for f in module.defined_functions()}
 
 
 # ---------------------------------------------------------------------------
 # Individual rewrites
 # ---------------------------------------------------------------------------
 
-def _remove_unreachable_blocks(function: Function, stats: SimplifyStats) -> bool:
-    reachable = reachable_blocks(function)
+def _remove_unreachable_blocks(function: Function, stats: SimplifyStats,
+                               manager: Optional[FunctionAnalysisManager] = None
+                               ) -> bool:
+    reachable = manager.reachable(function) if manager is not None \
+        else reachable_blocks(function)
     dead = [block for block in function.blocks if block not in reachable]
     if not dead:
         return False

@@ -1,0 +1,258 @@
+"""Tests for the analysis managers: epochs, caching, invalidation, preservation."""
+
+import pytest
+
+from repro.analysis import (
+    CFG_ANALYSES,
+    DominatorTree,
+    FunctionAnalysisManager,
+    ModuleAnalysisManager,
+)
+from repro.analysis.counters import track_constructions
+from repro.analysis.manager import DOMTREE, FINGERPRINT
+from repro.analysis.size_model import ARM_THUMB, X86_64
+from repro.ir import parse_module
+from repro.ir.instructions import BranchInst
+from repro.transforms.dce import eliminate_dead_code
+from repro.transforms.mem2reg import SSAReconstructor, promote_allocas
+from repro.transforms.reg2mem import demote_function
+
+DIAMOND = """
+define i32 @f(i32 %x) {
+entry:
+  %slot = alloca i32
+  %other = alloca i32
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  store i32 1, i32* %slot
+  store i32 5, i32* %other
+  br label %join
+b:
+  store i32 2, i32* %slot
+  store i32 6, i32* %other
+  br label %join
+join:
+  %v = load i32, i32* %slot
+  %w = load i32, i32* %other
+  %r = add i32 %v, %w
+  ret i32 %r
+}
+"""
+
+
+def _diamond():
+    module = parse_module(DIAMOND)
+    return module, module.get_function("f")
+
+
+class TestMutationEpoch:
+    def test_instruction_list_changes_bump_epoch(self):
+        _, function = _diamond()
+        block = function.entry_block
+        before = function.mutation_epoch
+        inst = block.instructions[0]
+        inst.erase_from_parent()
+        assert function.mutation_epoch > before
+
+    def test_operand_rewrite_bumps_epoch(self):
+        _, function = _diamond()
+        before = function.mutation_epoch
+        add = function.value_by_name("r")
+        add.set_operand(0, add.get_operand(1))
+        assert function.mutation_epoch > before
+
+    def test_block_erase_bumps_epoch(self):
+        _, function = _diamond()
+        before = function.mutation_epoch
+        function.block_by_name("b").erase_from_parent()
+        assert function.mutation_epoch > before
+
+    def test_block_epoch_is_local_but_propagates(self):
+        _, function = _diamond()
+        block = function.block_by_name("a")
+        block_before = block.mutation_epoch
+        function_before = function.mutation_epoch
+        block.instructions[0].erase_from_parent()
+        assert block.mutation_epoch > block_before
+        assert function.mutation_epoch > function_before
+
+    def test_reading_does_not_bump_epoch(self):
+        _, function = _diamond()
+        before = function.mutation_epoch
+        DominatorTree(function)
+        list(function.instructions())
+        function.num_instructions()
+        assert function.mutation_epoch == before
+
+
+class TestFunctionAnalysisManager:
+    def test_caches_until_mutation(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        first = manager.domtree(function)
+        assert manager.domtree(function) is first
+        assert manager.stats.hits == 1 and manager.stats.misses == 1
+
+    def test_erase_block_triggers_recompute(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        stale = manager.domtree(function)
+        dead = function.block_by_name("b")
+        for successor in dead.successors():
+            for phi in successor.phis():
+                phi.remove_incoming_for_block(dead)
+        entry = function.entry_block
+        entry.terminator.erase_from_parent()
+        entry.append(BranchInst(function.block_by_name("a")))
+        dead.erase_from_parent()
+        fresh = manager.domtree(function)
+        assert fresh is not stale
+        assert not fresh.is_reachable(dead)
+        assert manager.stats.invalidations >= 1
+
+    def test_instruction_rewrite_triggers_fingerprint_recompute(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        stale = manager.fingerprint(function)
+        add = function.value_by_name("r")
+        # Rewrite the instruction: replace the add with a sub-by-zero chain.
+        block = add.parent
+        from repro.ir.instructions import BinaryInst
+        sub = BinaryInst("sub", add.lhs, add.rhs, "r2")
+        block.insert_before(add, sub)
+        add.replace_all_uses_with(sub)
+        add.erase_from_parent()
+        fresh = manager.fingerprint(function)
+        assert fresh is not stale
+        assert fresh.counts == stale.counts  # add and sub share a bucket
+        assert manager.stats.invalidations >= 1
+
+    def test_unknown_analysis_raises(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        with pytest.raises(KeyError, match="unknown analysis"):
+            manager.get("no_such_analysis", function)
+
+    def test_register_custom_analysis(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        manager.register("block_count", lambda f: len(f.blocks))
+        assert manager.get("block_count", function) == 4
+        with pytest.raises(ValueError, match="already registered"):
+            manager.register("block_count", lambda f: 0)
+
+    def test_function_size_is_cached_per_size_model(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        x86 = manager.function_size(function, X86_64)
+        thumb = manager.function_size(function, ARM_THUMB)
+        assert x86 == X86_64.function_size(function)
+        assert thumb == ARM_THUMB.function_size(function)
+        assert x86 != thumb
+        assert manager.function_size(function, X86_64) == x86
+        assert manager.stats.hits == 1
+
+    def test_forget_drops_entries(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        manager.domtree(function)
+        manager.forget(function)
+        assert manager.cached_analyses(function) == ()
+        manager.domtree(function)
+        assert manager.stats.misses == 2
+
+    def test_mark_preserved_restamps_only_current_entries(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        tree = manager.domtree(function)
+        epoch = function.mutation_epoch
+        # A CFG-preserving mutation: erase a non-terminator instruction.
+        function.value_by_name("w").erase_from_parent()
+        manager.mark_preserved(function, CFG_ANALYSES, since=epoch)
+        assert manager.domtree(function) is tree
+        # A stale entry (wrong `since`) must NOT be resurrected.
+        function.value_by_name("v").erase_from_parent()
+        manager.mark_preserved(function, CFG_ANALYSES, since=epoch)
+        assert manager.domtree(function) is not tree
+
+
+class TestTransformIntegration:
+    def test_promote_allocas_builds_domtree_once_per_round(self):
+        # Two promotable allocas, one promotion round: the dominator tree (and
+        # its dominance frontier) must be constructed exactly once, not per
+        # alloca and not per consumer.
+        _, function = _diamond()
+        with track_constructions() as tracker:
+            stats = promote_allocas(function)
+        assert stats.promoted_allocas == 2
+        assert tracker.delta("DominatorTree") == 1
+
+    def test_promote_allocas_with_manager_builds_domtree_once(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        with track_constructions() as tracker:
+            promote_allocas(function, manager)
+        assert tracker.delta("DominatorTree") == 1
+        # Promotion preserved the CFG analyses: the next consumer hits.
+        with track_constructions() as tracker:
+            manager.domtree(function)
+        assert tracker.delta("DominatorTree") == 0
+
+    def test_demote_then_promote_share_one_domtree(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        manager.domtree(function)  # e.g. the input verifier ran first
+        with track_constructions() as tracker:
+            demote_function(function, manager)
+            promote_allocas(function, manager)
+        assert tracker.delta("DominatorTree") == 0
+
+    def test_dce_preserves_cfg_analyses(self):
+        _, function = _diamond()
+        manager = FunctionAnalysisManager()
+        function.value_by_name("r").replace_all_uses_with(
+            function.value_by_name("v"))
+        tree = manager.domtree(function)
+        removed = eliminate_dead_code(function, manager)
+        assert removed >= 1
+        # DCE only removed non-terminator instructions, so its preservation
+        # declaration keeps the tree computed just before it valid.
+        assert manager.domtree(function) is tree
+
+    def test_ssa_reconstructor_shares_manager(self):
+        module = parse_module("""
+        define i32 @f(i32 %x) {
+        entry:
+          %c = icmp sgt i32 %x, 0
+          br i1 %c, label %a, label %b
+        a:
+          %v = add i32 %x, 1
+          br label %join
+        b:
+          br label %join
+        join:
+          %use = add i32 %v, 10
+          ret i32 %use
+        }
+        """)
+        function = module.get_function("f")
+        manager = FunctionAnalysisManager()
+        with track_constructions() as tracker:
+            reconstructor = SSAReconstructor(function, manager)
+            reconstructor.reconstruct([function.value_by_name("v")])
+            # Reconstruction preserves the CFG analyses, so a follow-up
+            # consumer (the codegen violation scan, the verifier) reuses them.
+            manager.domtree(function)
+            reconstructor.refresh()
+        assert tracker.delta("DominatorTree") == 1
+
+
+class TestModuleAnalysisManager:
+    def test_delegates_to_function_manager(self):
+        module, function = _diamond()
+        manager = ModuleAnalysisManager(module)
+        tree = manager.domtree(function)
+        assert manager.get(DOMTREE, function) is tree
+        assert manager.fingerprint(function) is manager.get(FINGERPRINT, function)
+        assert manager.stats.queries == 4

@@ -1,0 +1,66 @@
+"""Cached vs. uncached pipelines must produce bit-identical merge reports.
+
+The analysis manager's whole contract is that it changes how much work the
+pipeline does, never what the pipeline decides.  These tests run the full
+pipeline twice on identically generated modules — once with the module-level
+manager, once with analysis caching disabled — and compare the merge reports
+field by field, on both workload generators and both techniques.
+"""
+
+import pytest
+
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.harness.pipeline import run_pipeline
+from repro.workloads.mibench_like import MIBENCH
+from repro.workloads.spec_like import get_suite
+
+
+def _spec_module():
+    suite = get_suite("spec2006")
+    spec = next(s for s in suite if s.name == "429.mcf")
+    return spec.build
+
+
+def _mibench_module():
+    spec = next(s for s in MIBENCH if s.name == "dijkstra")
+    return spec.build
+
+
+def _generated_module():
+    return lambda: search_workload(48, seed=11)
+
+
+@pytest.mark.parametrize("technique", ["salssa", "fmsa"])
+@pytest.mark.parametrize("build", [
+    pytest.param(_mibench_module(), id="mibench-like"),
+    pytest.param(_spec_module(), id="spec-like"),
+    pytest.param(_generated_module(), id="generated-families"),
+])
+def test_cached_pipeline_is_bit_identical(build, technique):
+    cached = run_pipeline(build(), "parity", technique, threshold=1,
+                          target="arm_thumb", analysis_caching=True)
+    uncached = run_pipeline(build(), "parity", technique, threshold=1,
+                            target="arm_thumb", analysis_caching=False)
+    assert cached.analysis_stats is not None
+    assert uncached.analysis_stats is None
+    assert cached.final_size == uncached.final_size
+    assert cached.final_instructions == uncached.final_instructions
+    assert merge_report_digest(cached.report) == merge_report_digest(uncached.report)
+    # The committed merges are the same operations in the same order.
+    committed_cached = [(r.first, r.second, r.decision.benefit)
+                        for r in cached.report.committed_records]
+    committed_uncached = [(r.first, r.second, r.decision.benefit)
+                          for r in uncached.report.committed_records]
+    assert committed_cached == committed_uncached
+
+
+def test_cached_pipeline_reports_cache_activity():
+    result = run_pipeline(search_workload(48, seed=11), "stats", "salssa",
+                          threshold=1, target="arm_thumb")
+    stats = result.analysis_stats
+    assert stats is not None
+    assert stats.hits > 0
+    assert stats.misses > 0
+    assert stats.queries == stats.hits + stats.misses
+    # The merge pass alone reuses function sizes across the candidate loop.
+    assert stats.hit_rate > 0.1
