@@ -9,9 +9,12 @@ exhaustive reference, and the fraction of candidate pairs actually scanned.
 Expected shape: the exhaustive query time grows linearly with the module
 (quadratic per module pass), the LSH query time stays near-flat, and LSH
 recall holds >= 0.9 while scanning < 25% of the pairs once modules reach a
-few hundred functions.  ``REPRO_FULL=1`` extends the sweep to 4096 functions;
-``REPRO_SMOKE=1`` shrinks it to the smallest size that still exercises the
-quality assertions (the CI smoke step).
+few hundred functions.  ``REPRO_FULL=1`` extends the sweep to 8192 functions
+(module generation is batched — ``generate_program_in_batches`` — which is
+what makes the points past 4096 affordable; the 8192 point only runs with
+``REPRO_SMOKE=0``, i.e. never in the CI smoke lane).  ``REPRO_SMOKE=1``
+shrinks the sweep to the smallest size that still exercises the quality
+assertions (the CI smoke step).
 """
 
 import os
@@ -23,7 +26,7 @@ from conftest import FULL, run_once
 
 SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
 SIZES = (256,) if SMOKE else \
-    ((256, 512, 1024, 2048, 4096) if FULL else (256, 512, 1024))
+    ((256, 512, 1024, 2048, 4096, 8192) if FULL else (256, 512, 1024))
 TOP_K = 2
 
 

@@ -1,0 +1,61 @@
+"""Warm-start persistence: cold vs warm pipeline runs over a shared store.
+
+Not a paper figure — this benchmarks the ``repro.persist`` subsystem that
+gives repeated pipeline runs a content-addressed on-disk home for their
+process-external artifacts (fingerprints, MinHash/LSH signatures, cost-model
+function sizes).  For each module size it runs the identical pipeline twice
+against one artifact store: the first (cold) run populates it, the second
+(warm) run loads everything whose content digest the store already knows.
+
+Expected shape — and the subsystem's acceptance bar, asserted below:
+
+* the warm run's merge report is **bit-identical** to the cold run's
+  (digests compared field by field, wall-clock excluded);
+* the warm run computes **>= 80% fewer** MinHash signatures and fingerprints
+  than the cold run (measured with ``repro.analysis.counters``, so the claim
+  is counted, not assumed — in practice the warm run computes zero);
+* cold-vs-warm wall time is recorded in ``extra_info`` but not asserted, so
+  CI timing noise cannot fail the benchmark.
+
+``REPRO_SMOKE=1`` shrinks the sweep to one small module (the CI warm-start
+smoke step); ``REPRO_FULL=1`` extends it.
+"""
+
+import os
+
+from repro.harness import warm_start_comparison
+from repro.harness.reporting import format_store_stats, format_warm_start
+
+from conftest import FULL, run_once
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
+SIZES = (96,) if SMOKE else ((128, 256, 512) if FULL else (128, 256))
+
+
+def test_warm_start_pipeline(benchmark, tmp_path):
+    result = run_once(benchmark, warm_start_comparison,
+                      sizes=SIZES, cache_dir=str(tmp_path))
+    print()
+    print(format_warm_start(result))
+    for row in result.rows:
+        if row.persist_stats is not None:
+            print(f"  {row.num_functions} fns {row.mode}: "
+                  f"{format_store_stats(row.persist_stats)}")
+    largest = max(SIZES)
+    benchmark.extra_info["warm_speedup"] = round(result.speedup(largest), 2)
+    benchmark.extra_info["signature_reduction"] = round(
+        result.computation_reduction(largest, "signatures"), 3)
+    benchmark.extra_info["fingerprint_reduction"] = round(
+        result.computation_reduction(largest, "fingerprints"), 3)
+    # The acceptance bar for the subsystem.  (Deterministic quantities only —
+    # wall-clock speedup is recorded in extra_info but not asserted.)
+    for size in SIZES:
+        assert result.digests_match(size), \
+            f"cold and warm merge reports diverged at {size} functions"
+        cold = result.row(size, "cold")
+        assert cold is not None and cold.signatures_computed > 0, \
+            f"cold run at {size} functions computed no signatures — bad setup"
+        signature_reduction = result.computation_reduction(size, "signatures")
+        fingerprint_reduction = result.computation_reduction(size, "fingerprints")
+        assert signature_reduction >= 0.8, (size, signature_reduction)
+        assert fingerprint_reduction >= 0.8, (size, fingerprint_reduction)

@@ -11,10 +11,14 @@ The package is organised as follows:
   (the paper's contribution) and the module-level function-merging pass.
 * :mod:`repro.workloads` — deterministic synthetic SPEC-like and MiBench-like
   programs used in place of the proprietary benchmark suites.
+* :mod:`repro.search` — scalable candidate-search indexes for the merge pass.
+* :mod:`repro.persist` — a content-addressed on-disk artifact store that
+  warm-starts repeated pipeline runs.
 * :mod:`repro.harness` — the experiment pipeline that regenerates every table
   and figure of the paper's evaluation section.
 """
 
 __version__ = "1.0.0"
 
-__all__ = ["ir", "analysis", "transforms", "merge", "workloads", "harness"]
+__all__ = ["ir", "analysis", "transforms", "merge", "workloads", "search",
+           "persist", "harness"]

@@ -20,7 +20,9 @@ from .dominators import DominatorTree
 from .liveness import LivenessInfo, compute_liveness, user_blocks
 from .manager import (
     ALL_ANALYSES,
+    BLOCK_PLAN,
     CFG_ANALYSES,
+    FINGERPRINT,
     AnalysisStats,
     FunctionAnalysisManager,
     ModuleAnalysisManager,

@@ -21,7 +21,15 @@ re-stamps the cached entry to the current epoch.  The ``since`` argument
 guards against resurrecting entries that were already stale before the
 transform ran.
 
-See ``docs/analysis.md`` for the full contract and how to register analyses.
+A manager can additionally be backed by a persistent tier (see
+:class:`repro.persist.PersistentAnalysisCache`): analyses whose results are
+pure data — fingerprints, function sizes — are then looked up on disk by the
+function's content digest before being recomputed, so warm pipeline runs skip
+even the first computation.  Object-graph analyses (dominator trees, liveness)
+never round-trip through the store.
+
+See ``docs/analysis.md`` for the full contract and how to register analyses,
+and ``docs/persistence.md`` for the persistent tier.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from ..ir.function import Function
+from ..ir.interpreter import block_plans
 from .cfg import predecessor_map, reachable_blocks
 from .dominators import DominatorTree
 from .fingerprint import Fingerprint
@@ -41,14 +50,19 @@ PREDECESSORS = "predecessors"
 REACHABLE = "reachable"
 LIVENESS = "liveness"
 FINGERPRINT = "fingerprint"
+#: Per-block interpreter prologues (phi list + first non-phi index); shared by
+#: the reference interpreter so repeated dynamic runs derive them once.
+BLOCK_PLAN = "block_plan"
 
 #: The analyses that depend only on CFG *shape* (blocks and branch targets).
 #: A transform that inserts/removes non-terminator instructions without adding
 #: or removing blocks or rewiring branches preserves exactly this set.
+#: (``BLOCK_PLAN`` is *not* a member: inserting a phi keeps the shape but
+#: changes the block prologue.)
 CFG_ANALYSES: FrozenSet[str] = frozenset({DOMTREE, PREDECESSORS, REACHABLE})
 
 #: Every built-in analysis name.
-ALL_ANALYSES: FrozenSet[str] = CFG_ANALYSES | {LIVENESS, FINGERPRINT}
+ALL_ANALYSES: FrozenSet[str] = CFG_ANALYSES | {LIVENESS, FINGERPRINT, BLOCK_PLAN}
 
 
 def default_analyses() -> Dict[str, Callable[[Function], Any]]:
@@ -59,6 +73,7 @@ def default_analyses() -> Dict[str, Callable[[Function], Any]]:
         REACHABLE: reachable_blocks,
         LIVENESS: compute_liveness,
         FINGERPRINT: Fingerprint.of,
+        BLOCK_PLAN: block_plans,
     }
 
 
@@ -128,10 +143,18 @@ class FunctionAnalysisManager:
     """
 
     def __init__(self, registry: Optional[Dict[str, Callable[[Function], Any]]] = None,
-                 stats: Optional[AnalysisStats] = None) -> None:
+                 stats: Optional[AnalysisStats] = None,
+                 persistent=None) -> None:
         self._registry = dict(registry) if registry is not None else default_analyses()
         self._cache: Dict[Function, Dict[str, Tuple[int, Any]]] = {}
         self.stats = stats or AnalysisStats()
+        #: Optional persistent tier (duck-typed; see
+        #: :class:`repro.persist.PersistentAnalysisCache`): consulted on an
+        #: in-memory miss for analyses it declares persistable, and fed every
+        #: freshly computed persistable result.  A persistent load counts as
+        #: a hit here (nothing was recomputed); the store keeps its own
+        #: hit/miss/load/store counters.
+        self._persistent = persistent
 
     # ------------------------------------------------------------- registry
     def register(self, name: str, compute: Callable[[Function], Any],
@@ -164,9 +187,17 @@ class FunctionAnalysisManager:
                     self.stats.record_hit()
                     return entry[1]
                 self.stats.invalidations += 1
-        value = compute(function)
+        loaded = False
+        if self._persistent is not None:
+            loaded, value = self._persistent.load(name, function)
+        if loaded:
+            self.stats.record_hit()
+        else:
+            value = compute(function)
+            self.stats.record_miss(name)
+            if self._persistent is not None:
+                self._persistent.save(name, function, value)
         per_function[name] = (epoch, value)
-        self.stats.record_miss(name)
         return value
 
     # Convenience accessors for the built-in analyses.
@@ -184,6 +215,9 @@ class FunctionAnalysisManager:
 
     def fingerprint(self, function: Function) -> Fingerprint:
         return self.get(FINGERPRINT, function)
+
+    def block_plans(self, function: Function):
+        return self.get(BLOCK_PLAN, function)
 
     def function_size(self, function: Function, size_model) -> int:
         """Cached :meth:`SizeModel.function_size` for one size model.
@@ -266,9 +300,11 @@ class ModuleAnalysisManager:
 
     def __init__(self, module=None,
                  registry: Optional[Dict[str, Callable[[Function], Any]]] = None,
-                 stats: Optional[AnalysisStats] = None) -> None:
+                 stats: Optional[AnalysisStats] = None,
+                 persistent=None) -> None:
         self.module = module
-        self.functions = FunctionAnalysisManager(registry=registry, stats=stats)
+        self.functions = FunctionAnalysisManager(registry=registry, stats=stats,
+                                                 persistent=persistent)
 
     @property
     def stats(self) -> AnalysisStats:
@@ -297,6 +333,9 @@ class ModuleAnalysisManager:
 
     def fingerprint(self, function: Function) -> Fingerprint:
         return self.functions.fingerprint(function)
+
+    def block_plans(self, function: Function):
+        return self.functions.block_plans(function)
 
     def function_size(self, function: Function, size_model) -> int:
         return self.functions.function_size(function, size_model)

@@ -3,7 +3,9 @@
 from .metrics import (
     Measurement,
     arithmetic_mean,
+    combine_analysis_stats,
     combine_search_stats,
+    combine_store_stats,
     geometric_mean,
     measure_peak_memory,
     measure_time,
@@ -18,10 +20,13 @@ from .experiments import (
     AnalysisCacheRow,
     SearchComparisonResult,
     SearchComparisonRow,
+    WarmStartResult,
+    WarmStartRow,
     analysis_cache_comparison,
     candidate_search_comparison,
     merge_report_digest,
     search_workload,
+    warm_start_comparison,
     Figure5Result,
     Figure19Result,
     Figure20Result,

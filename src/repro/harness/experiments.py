@@ -12,6 +12,7 @@ explicitly for the full sweep (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -24,12 +25,18 @@ from ..ir.interpreter import run_function
 from ..ir.module import Module
 from ..ir.verifier import verify_module
 from ..merge.pass_manager import FunctionMergingPass, MergeReport
+from ..persist import StoreStats
 from ..search import SearchStrategy, make_index, topk_recall
 from ..search.stats import quality_recall
 from ..transforms.mem2reg import promote_module
 from ..transforms.reg2mem import demote_function, demote_module
 from ..transforms.simplify import simplify_module
-from ..workloads.generator import FamilySpec, ProgramSpec, generate_program
+from ..workloads.generator import (
+    FamilySpec,
+    ProgramSpec,
+    generate_program,
+    generate_program_in_batches,
+)
 from ..workloads.mibench_like import MIBENCH, MiBenchSpec
 from ..workloads.spec_like import BenchmarkSpec, get_suite
 from .metrics import geometric_mean, measure_peak_memory
@@ -131,7 +138,8 @@ class ReductionResult:
 def _reduction_experiment(suite_specs, suite_name: str, target: str,
                           techniques: Sequence[str], thresholds: Sequence[int],
                           benchmarks: Optional[Iterable[str]],
-                          search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                          search_strategy: Union[str, SearchStrategy] = "exhaustive",
+                          cache_dir: Optional[str] = None
                           ) -> ReductionResult:
     result = ReductionResult(suite_name, target)
     for spec in _select_benchmarks(suite_specs, benchmarks):
@@ -139,7 +147,8 @@ def _reduction_experiment(suite_specs, suite_name: str, target: str,
             for threshold in thresholds:
                 module = spec.build()
                 run = run_pipeline(module, spec.name, technique, threshold, target,
-                                   search_strategy=search_strategy)
+                                   search_strategy=search_strategy,
+                                   cache_dir=cache_dir)
                 report = run.report
                 result.rows.append(ReductionRow(
                     spec.name, technique, threshold, run.reduction_percent,
@@ -152,23 +161,27 @@ def figure17_spec_reduction(suite: str = "spec2006",
                             techniques: Sequence[str] = ("fmsa", "salssa"),
                             thresholds: Sequence[int] = (1,),
                             benchmarks: Optional[Iterable[str]] = DEFAULT_SPEC_SUBSET,
-                            search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                            search_strategy: Union[str, SearchStrategy] = "exhaustive",
+                            cache_dir: Optional[str] = None
                             ) -> ReductionResult:
     """Linked-object size reduction over LTO on the SPEC-like suites (Fig. 17)."""
     return _reduction_experiment(get_suite(suite), suite, "x86_64",
                                  techniques, thresholds, benchmarks,
-                                 search_strategy=search_strategy)
+                                 search_strategy=search_strategy,
+                                 cache_dir=cache_dir)
 
 
 def figure18_mibench_reduction(techniques: Sequence[str] = ("fmsa", "salssa"),
                                thresholds: Sequence[int] = (1,),
                                benchmarks: Optional[Iterable[str]] = DEFAULT_MIBENCH_SUBSET,
-                               search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                               search_strategy: Union[str, SearchStrategy] = "exhaustive",
+                               cache_dir: Optional[str] = None
                                ) -> ReductionResult:
     """Linked-object size reduction on the MiBench-like suite, ARM-Thumb model (Fig. 18)."""
     return _reduction_experiment(MIBENCH, "mibench", "arm_thumb",
                                  techniques, thresholds, benchmarks,
-                                 search_strategy=search_strategy)
+                                 search_strategy=search_strategy,
+                                 cache_dir=cache_dir)
 
 
 # ---------------------------------------------------------------------------
@@ -502,14 +515,16 @@ class Figure25Result:
                               if row.technique == technique)
 
 
-def _dynamic_steps(module: Module, benchmark: str) -> int:
+def _dynamic_steps(module: Module, benchmark: str,
+                   analysis_manager: Optional[ModuleAnalysisManager] = None) -> int:
     main_name = f"{benchmark.replace('.', '_')}_main"
     main = module.get_function(main_name)
     if main is None:
         return 0
     total = 0
     for argument in (1, 5, 9):
-        result = run_function(module, main, (argument,), max_steps=2_000_000)
+        result = run_function(module, main, (argument,), max_steps=2_000_000,
+                              analysis_manager=analysis_manager)
         total += result.steps
     return total
 
@@ -517,18 +532,26 @@ def _dynamic_steps(module: Module, benchmark: str) -> int:
 def figure25_runtime_overhead(suite: str = "spec2006",
                               benchmarks: Optional[Iterable[str]] = DEFAULT_SPEC_SUBSET
                               ) -> Figure25Result:
-    """Dynamic instruction overhead of merged programs (Fig. 25 proxy)."""
+    """Dynamic instruction overhead of merged programs (Fig. 25 proxy).
+
+    The post-merge dynamic runs share the pipeline's analysis manager, so the
+    interpreter reuses the block plans (and any CFG facts the verifier left
+    behind) instead of re-deriving them for every input argument.
+    """
     result = Figure25Result()
     for spec in _select_benchmarks(get_suite(suite), benchmarks):
         baseline_module = spec.build()
-        simplify_module(baseline_module)
-        baseline_steps = _dynamic_steps(baseline_module, spec.name)
+        baseline_manager = ModuleAnalysisManager(baseline_module)
+        simplify_module(baseline_module, baseline_manager)
+        baseline_steps = _dynamic_steps(baseline_module, spec.name, baseline_manager)
         if baseline_steps == 0:
             continue
         for technique in ("fmsa", "salssa"):
             module = spec.build()
-            run_pipeline(module, spec.name, technique, 1, "x86_64")
-            merged_steps = _dynamic_steps(module, spec.name)
+            manager = ModuleAnalysisManager(module)
+            run_pipeline(module, spec.name, technique, 1, "x86_64",
+                         analysis_manager=manager)
+            merged_steps = _dynamic_steps(module, spec.name, manager)
             result.rows.append(Figure25Row(spec.name, technique,
                                            baseline_steps, merged_steps))
     return result
@@ -538,13 +561,18 @@ def figure25_runtime_overhead(suite: str = "spec2006",
 # Candidate-search scaling: exhaustive vs sub-linear indexes (repro.search)
 # ---------------------------------------------------------------------------
 
-def search_workload(num_functions: int, seed: int = 7) -> Module:
+def search_workload(num_functions: int, seed: int = 7,
+                    batch_size: int = 1024) -> Module:
     """A mibench-like module for candidate-search experiments.
 
     Mirrors the population structure of the larger MiBench programs — mostly
     clone families of 2-4 similar functions with heterogeneous size targets,
     plus a minority of standalone functions — but scales to arbitrary function
     counts, which the real table-driven specs (capped at 48 functions) cannot.
+
+    Generation is batched (:func:`generate_program_in_batches`) so very large
+    populations build in linear time; modules up to ``batch_size`` functions
+    are bit-identical to the historical single-shot generation.
     """
     rng = random.Random(seed)
     families: List[FamilySpec] = []
@@ -559,7 +587,7 @@ def search_workload(num_functions: int, seed: int = 7) -> Module:
         name=f"search{num_functions}", seed=seed, families=families,
         standalone_functions=num_functions - sum(f.size for f in families),
         standalone_size=30, with_main=False)
-    module = generate_program(spec)
+    module = generate_program_in_batches(spec, batch_size=batch_size)
     simplify_module(module)
     return module
 
@@ -743,6 +771,106 @@ def analysis_cache_comparison(sizes: Sequence[int] = (128, 256),
                 liveness_constructions=tracker.delta("LivenessInfo"),
                 analysis_stats=manager.stats if manager else None,
                 report_digest=merge_report_digest(report)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Warm-start comparison: the persistent artifact store's savings (repro.persist)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WarmStartRow:
+    """One (module size, cold/warm) pipeline run against a shared store."""
+
+    num_functions: int
+    mode: str  # "cold" (store empty) or "warm" (store populated by the cold run)
+    wall_seconds: float
+    signatures_computed: int
+    fingerprints_computed: int
+    persist_stats: Optional[StoreStats]
+    report_digest: Tuple
+
+
+@dataclass
+class WarmStartResult:
+    """Cold-vs-warm comparison rows, per module size."""
+
+    rows: List[WarmStartRow] = field(default_factory=list)
+
+    def row(self, num_functions: int, mode: str) -> Optional[WarmStartRow]:
+        for row in self.rows:
+            if row.num_functions == num_functions and row.mode == mode:
+                return row
+        return None
+
+    def digests_match(self, num_functions: int) -> bool:
+        cold = self.row(num_functions, "cold")
+        warm = self.row(num_functions, "warm")
+        return cold is not None and warm is not None \
+            and cold.report_digest == warm.report_digest
+
+    def computation_reduction(self, num_functions: int, counter: str) -> float:
+        """Fraction of the cold run's computations the warm run avoided.
+
+        ``counter`` is ``"signatures"`` or ``"fingerprints"``.  1.0 means the
+        warm run computed nothing; 0.0 means it saved nothing (or there was
+        nothing to save).
+        """
+        cold = self.row(num_functions, "cold")
+        warm = self.row(num_functions, "warm")
+        if cold is None or warm is None:
+            return 0.0
+        attr = f"{counter}_computed"
+        cold_count = getattr(cold, attr)
+        warm_count = getattr(warm, attr)
+        if cold_count <= 0:
+            return 0.0
+        return 1.0 - warm_count / cold_count
+
+    def speedup(self, num_functions: int) -> float:
+        cold = self.row(num_functions, "cold")
+        warm = self.row(num_functions, "warm")
+        if cold is None or warm is None or warm.wall_seconds <= 0:
+            return 0.0
+        return cold.wall_seconds / warm.wall_seconds
+
+
+def warm_start_comparison(sizes: Sequence[int] = (128,),
+                          cache_dir: Optional[str] = None,
+                          technique: str = "salssa",
+                          target: str = "arm_thumb",
+                          search_strategy: Union[str, SearchStrategy] = "minhash_lsh",
+                          seed: int = 7) -> WarmStartResult:
+    """Run the pipeline twice per size against one shared artifact store.
+
+    The first (cold) run populates ``cache_dir``; the second (warm) run must
+    produce a bit-identical merge report while computing a small fraction of
+    the MinHash signatures and fingerprints — the acceptance bar asserted by
+    ``benchmarks/bench_persist.py``.  Each size gets its own store subtree so
+    cold runs are genuinely cold (same-seed workloads of different sizes
+    share their leading families, which would otherwise pre-warm them).
+    """
+    if cache_dir is None:
+        raise ValueError("warm_start_comparison needs a cache_dir")
+    result = WarmStartResult()
+    for num_functions in sizes:
+        size_dir = os.path.join(cache_dir, f"size{num_functions}")
+        for mode in ("cold", "warm"):
+            module = search_workload(num_functions, seed=seed)
+            with track_constructions() as tracker:
+                started = time.perf_counter()
+                run = run_pipeline(module, f"warm{num_functions}", technique, 1,
+                                   target, search_strategy=search_strategy,
+                                   cache_dir=size_dir)
+                wall_seconds = time.perf_counter() - started
+            result.rows.append(WarmStartRow(
+                num_functions=num_functions,
+                mode=mode,
+                wall_seconds=wall_seconds,
+                signatures_computed=tracker.delta("MinHashSignature"),
+                fingerprints_computed=tracker.delta("Fingerprint"),
+                persist_stats=run.persist_stats,
+                report_digest=merge_report_digest(run.report)))
     return result
 
 

@@ -10,6 +10,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from ..analysis.manager import AnalysisStats
+from ..persist import StoreStats
 from ..search.stats import SearchStats
 
 
@@ -86,6 +88,35 @@ def combine_search_stats(stats: Iterable[Optional[SearchStats]]) -> SearchStats:
     cover the whole experiment.
     """
     combined = SearchStats()
+    for entry in stats:
+        if entry is not None:
+            combined.merge(entry)
+    return combined
+
+
+def combine_analysis_stats(stats: Iterable[Optional[AnalysisStats]]) -> AnalysisStats:
+    """Roll per-run analysis-manager counters up into one aggregate.
+
+    Accepts the ``analysis_stats`` of many pipeline results (``None`` entries
+    — runs without analysis caching — are skipped); the merged counters cover
+    the whole experiment, mirroring :func:`combine_search_stats`.
+    """
+    combined = AnalysisStats()
+    for entry in stats:
+        if entry is not None:
+            combined.merge(entry)
+    return combined
+
+
+def combine_store_stats(stats: Iterable[Optional[StoreStats]]) -> StoreStats:
+    """Roll per-run artifact-store counters up into one aggregate.
+
+    Accepts the ``persist_stats`` of many pipeline results (``None`` entries
+    — runs without a ``cache_dir`` — are skipped).  Note that runs sharing
+    one live :class:`~repro.persist.ArtifactStore` already share its stats
+    object; only combine stats of *distinct* stores or the totals double.
+    """
+    combined = StoreStats()
     for entry in stats:
         if entry is not None:
             combined.merge(entry)

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Union
 
 from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
 from ..ir.module import Module
 from ..ir.printer import print_module
@@ -44,6 +45,9 @@ class PipelineResult:
     #: Cache hit/miss/invalidation counters of the module-level analysis
     #: manager (None when the run was executed without analysis caching).
     analysis_stats: Optional[AnalysisStats] = None
+    #: Hit/miss/load/store counters of the content-addressed artifact store
+    #: (None when the run had no ``cache_dir`` — the always-cold default).
+    persist_stats: Optional[StoreStats] = None
 
     @property
     def reduction_percent(self) -> float:
@@ -78,7 +82,8 @@ def baseline_compile(module: Module,
 
 def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
                       phi_coalescing: bool = True,
-                      search_strategy: Union[str, SearchStrategy] = "exhaustive"
+                      search_strategy: Union[str, SearchStrategy] = "exhaustive",
+                      cache_dir: Optional[str] = None
                       ) -> MergePassOptions:
     """Build pass options for one experimental configuration."""
     return MergePassOptions(
@@ -87,6 +92,7 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
         search_strategy=search_strategy,
         size_model=size_model,
         salssa=SalSSAOptions(phi_coalescing=phi_coalescing),
+        cache_dir=cache_dir,
     )
 
 
@@ -96,7 +102,9 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  measure_memory: bool = False,
                  search_strategy: Union[str, SearchStrategy] = "exhaustive",
                  analysis_manager: Optional[ModuleAnalysisManager] = None,
-                 analysis_caching: bool = True
+                 analysis_caching: bool = True,
+                 cache_dir: Optional[str] = None,
+                 artifact_store: Optional[ArtifactStore] = None
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
@@ -110,11 +118,24 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     :attr:`PipelineResult.analysis_stats`.  Pass ``analysis_caching=False``
     (or an explicit ``analysis_manager``) to override — merge outcomes are
     bit-identical with and without the cache, only the work differs.
+
+    ``cache_dir`` (or a live ``artifact_store``) turns on cross-run
+    persistence (see :mod:`repro.persist`): the pipeline-owned manager then
+    loads fingerprints and function sizes by content digest, the candidate
+    index warm-starts its MinHash signatures, and the store's counters are
+    surfaced on :attr:`PipelineResult.persist_stats`.  Reports are
+    bit-identical with a cold, warm or absent store.  (An explicitly passed
+    ``analysis_manager`` is used as-is — it keeps whatever persistent tier it
+    was built with.)
     """
     size_model = get_target(target)
+    store = artifact_store
+    if store is None and cache_dir is not None:
+        store = ArtifactStore(cache_dir)
     manager = analysis_manager
     if manager is None and analysis_caching:
-        manager = ModuleAnalysisManager(module)
+        persistent = PersistentAnalysisCache(store) if store is not None else None
+        manager = ModuleAnalysisManager(module, persistent=persistent)
     baseline_seconds = baseline_compile(module, manager)
     baseline_size = size_model.module_size(module)
     baseline_instructions = module.num_instructions()
@@ -123,7 +144,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         return PipelineResult(benchmark, technique, threshold, baseline_size,
                               baseline_size, baseline_instructions,
                               baseline_instructions, baseline_seconds, 0.0,
-                              analysis_stats=manager.stats if manager else None)
+                              analysis_stats=manager.stats if manager else None,
+                              persist_stats=store.stats if store else None)
 
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
                                 search_strategy=search_strategy)
@@ -132,9 +154,11 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     peak_bytes = 0
     started = time.perf_counter()
     if measure_memory:
-        report, peak_bytes = measure_peak_memory(merging_pass.run, module, manager)
+        report, peak_bytes = measure_peak_memory(merging_pass.run, module,
+                                                 manager, store)
     else:
-        report = merging_pass.run(module, analysis_manager=manager)
+        report = merging_pass.run(module, analysis_manager=manager,
+                                  artifact_store=store)
     merge_seconds = time.perf_counter() - started
 
     final_size = size_model.module_size(module)
@@ -151,4 +175,5 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         report=report,
         peak_merge_bytes=peak_bytes,
         analysis_stats=manager.stats if manager else None,
+        persist_stats=store.stats if store else None,
     )

@@ -70,19 +70,27 @@ from .instructions import (
     ICMP_PREDICATES,
 )
 from .basic_block import BasicBlock
-from .function import Function
+from .function import DIGEST_SCHEMA, Function
 from .module import Module
 from .builder import IRBuilder
-from .printer import print_function, print_instruction, print_module, value_ref
+from .printer import (
+    canonical_function_text,
+    print_function,
+    print_instruction,
+    print_module,
+    value_ref,
+)
 from .parser import ParseError, parse_function, parse_module
 from .verifier import VerificationError, verify_function, verify_module
 from .interpreter import (
+    BLOCK_PLAN_ANALYSIS,
     ExecutionResult,
     GuestException,
     Interpreter,
     InterpreterError,
     Pointer,
     StepLimitExceeded,
+    block_plans,
     run_function,
 )
 

@@ -2,12 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+import hashlib
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .basic_block import BasicBlock
 from .instructions import Instruction, PhiInst
 from .types import FunctionType, PointerType, Type
 from .values import Argument, GlobalValue
+
+#: Version tag of the canonical serialization + digest semantics.  Bump it
+#: whenever :func:`repro.ir.printer.canonical_function_text` or the hash
+#: construction changes: persisted artifacts keyed by old digests then become
+#: unreachable (a cold rebuild) instead of silently wrong.
+DIGEST_SCHEMA = "repro-fn-digest-v1"
 
 
 class Function(GlobalValue):
@@ -25,6 +32,7 @@ class Function(GlobalValue):
         self.args: List[Argument] = []
         self._next_value_id = 0
         self._mutation_epoch = 0
+        self._content_digest: Optional[Tuple[int, str]] = None
         for index, param_type in enumerate(function_type.param_types):
             arg_name = arg_names[index] if arg_names and index < len(arg_names) else f"arg{index}"
             self.args.append(Argument(param_type, arg_name, parent=self, index=index))
@@ -51,6 +59,28 @@ class Function(GlobalValue):
     def notify_mutated(self) -> None:
         """Record a structural change (block list, instructions, operands)."""
         self._mutation_epoch += 1
+
+    def content_digest(self) -> str:
+        """A stable, process-independent hash of this function's content.
+
+        Hashes the canonical serialization (see
+        :func:`repro.ir.printer.canonical_function_text`), which excludes the
+        function's own name and all local value names, so structurally
+        identical functions share a digest across renames, runs and
+        processes.  The result is memoized against :attr:`mutation_epoch` —
+        mutating the IR invalidates the digest the same way it invalidates
+        cached analyses.  This is the content-address under which
+        ``repro.persist`` stores per-function artifacts.
+        """
+        cached = self._content_digest
+        epoch = self._mutation_epoch
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        from .printer import canonical_function_text  # deferred: printer imports this module
+        text = f"{DIGEST_SCHEMA}\n{canonical_function_text(self)}"
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=20).hexdigest()
+        self._content_digest = (epoch, digest)
+        return digest
 
     # ------------------------------------------------------------- blocks
     @property

@@ -156,9 +156,23 @@ class CmpInst(Instruction):
         else:
             raise ValueError(f"unknown comparison predicate {predicate!r}")
         super().__init__(I1, name)
-        self.predicate = predicate
+        self._predicate = predicate
         self.append_operand(lhs)
         self.append_operand(rhs)
+
+    @property
+    def predicate(self) -> str:
+        return self._predicate
+
+    @predicate.setter
+    def predicate(self, predicate: str) -> None:
+        # An in-place predicate rewrite changes the instruction's meaning as
+        # much as an operand swap does; it must bump the owning function's
+        # mutation epoch or cached analyses and content digests go stale.
+        changed = predicate != self._predicate
+        self._predicate = predicate
+        if changed:
+            self._operands_mutated()
 
     @property
     def lhs(self) -> Value:

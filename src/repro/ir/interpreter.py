@@ -49,6 +49,27 @@ from .types import FloatType, IntType, PointerType, Type
 from .values import Argument, Constant, GlobalValue, GlobalVariable, UndefValue, Value
 
 
+#: Analysis-manager key of :func:`block_plans` (mirrored by
+#: ``repro.analysis.manager.BLOCK_PLAN``; the string lives here so the IR
+#: layer does not import the analysis layer at load time).
+BLOCK_PLAN_ANALYSIS = "block_plan"
+
+
+def block_plans(function: Function) -> Dict[BasicBlock, Tuple[Tuple[PhiInst, ...], int]]:
+    """Per-block execution prologues: ``block -> (phi nodes, first non-phi index)``.
+
+    The interpreter consults this on *every* block entry — a loop re-enters
+    its header once per iteration — so re-deriving it per entry rescans each
+    block's instruction list throughout the whole run.  Registered with the
+    analysis manager under :data:`BLOCK_PLAN_ANALYSIS`, one derivation per
+    function epoch is shared by every post-merge dynamic verification.
+    """
+    from ..analysis.counters import count_construction  # runtime import: ir must not import analysis at load time
+    count_construction("BlockPlan")
+    return {block: (tuple(block.phis()), block.first_non_phi_index())
+            for block in function.blocks}
+
+
 class InterpreterError(Exception):
     """Raised when the interpreter encounters invalid or unsupported IR."""
 
@@ -98,10 +119,17 @@ class Interpreter:
 
     def __init__(self, module: Module,
                  externals: Optional[Dict[str, Callable]] = None,
-                 max_steps: int = 200_000) -> None:
+                 max_steps: int = 200_000,
+                 analysis_manager=None) -> None:
         self.module = module
         self.externals = dict(externals or {})
         self.max_steps = max_steps
+        #: Optional repro.analysis.manager manager: block execution plans are
+        #: then pulled from the shared per-function cache (and survive across
+        #: interpreter instances, e.g. the repeated post-merge verification
+        #: runs of one pipeline) instead of being derived per interpreter.
+        self.analysis_manager = analysis_manager
+        self._plan_cache: Dict[Function, Tuple[int, Dict]] = {}
         self._memory: Dict[int, List[object]] = {}
         self._next_allocation = 1
         self._globals: Dict[GlobalVariable, Pointer] = {}
@@ -171,12 +199,23 @@ class Interpreter:
         return default_external(name, args, return_type)
 
     # -------------------------------------------------------------- blocks
+    def _plans_for(self, function: Function) -> Dict[BasicBlock, Tuple[Tuple[PhiInst, ...], int]]:
+        if self.analysis_manager is not None:
+            return self.analysis_manager.get(BLOCK_PLAN_ANALYSIS, function)
+        epoch = function.mutation_epoch
+        cached = self._plan_cache.get(function)
+        if cached is None or cached[0] != epoch:
+            cached = (epoch, block_plans(function))
+            self._plan_cache[function] = cached
+        return cached[1]
+
     def _run_block(self, function: Function, block: BasicBlock,
                    previous_block: Optional[BasicBlock],
                    frame: Dict[Value, object]):
+        phis, body_start = self._plans_for(function)[block]
         # Phi-nodes are evaluated in parallel against the *incoming* edge.
         phi_updates: Dict[Value, object] = {}
-        for phi in block.phis():
+        for phi in phis:
             self._tick()
             incoming = phi.incoming_value_for_block(previous_block)
             if incoming is None:
@@ -186,7 +225,7 @@ class Interpreter:
             phi_updates[phi] = self._evaluate(incoming, frame)
         frame.update(phi_updates)
 
-        for inst in block.instructions[block.first_non_phi_index():]:
+        for inst in block.instructions[body_start:]:
             self._tick()
             if isinstance(inst, ReturnInst):
                 return None, self._evaluate(inst.value, frame) if inst.value is not None else None, True
@@ -442,6 +481,8 @@ def default_external(name: str, args: Tuple, return_type: Type) -> object:
 
 def run_function(module: Module, function_or_name, args: Tuple = (),
                  externals: Optional[Dict[str, Callable]] = None,
-                 max_steps: int = 200_000) -> ExecutionResult:
+                 max_steps: int = 200_000,
+                 analysis_manager=None) -> ExecutionResult:
     """Convenience wrapper: run one function of a module and return the result."""
-    return Interpreter(module, externals, max_steps).run(function_or_name, args)
+    return Interpreter(module, externals, max_steps,
+                       analysis_manager=analysis_manager).run(function_or_name, args)

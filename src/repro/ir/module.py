@@ -21,13 +21,20 @@ class Module:
         self.name = name
         self.functions: List[Function] = []
         self.globals: List[GlobalVariable] = []
+        # Name index kept in lockstep by add/remove_function.  Function names
+        # are fixed at construction (nothing in the IR renames a function
+        # in-place), so the index cannot go stale.  Without it, every
+        # add_function's duplicate check scanned the list — quadratic module
+        # construction, the former bottleneck of large generated workloads.
+        self._functions_by_name: dict = {}
 
     # ----------------------------------------------------------- functions
     def add_function(self, function: Function) -> Function:
-        if self.get_function(function.name) is not None:
+        if function.name in self._functions_by_name:
             raise ValueError(f"duplicate function name @{function.name}")
         function.parent = self
         self.functions.append(function)
+        self._functions_by_name[function.name] = function
         return function
 
     def create_function(self, name: str, function_type: FunctionType,
@@ -42,13 +49,11 @@ class Module:
         return self.add_function(Function(function_type, name))
 
     def get_function(self, name: str) -> Optional[Function]:
-        for function in self.functions:
-            if function.name == name:
-                return function
-        return None
+        return self._functions_by_name.get(name)
 
     def remove_function(self, function: Function) -> None:
         self.functions.remove(function)
+        self._functions_by_name.pop(function.name, None)
         function.parent = None
 
     def defined_functions(self) -> List[Function]:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Union
 
 from ..analysis.manager import ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64
+from ..persist.store import ArtifactStore, StoreStats
 from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
 from ..ir.basic_block import BasicBlock
 from ..ir.function import Function
@@ -46,6 +47,12 @@ class MergePassOptions:
     cost_model: Optional[CostModel] = None
     salssa: SalSSAOptions = field(default_factory=SalSSAOptions)
     fmsa: FMSAOptions = field(default_factory=FMSAOptions)
+    #: Root directory of a content-addressed artifact store (repro.persist):
+    #: the candidate index then loads per-function signatures from disk and
+    #: only computes for content it has never seen.  None (the default) keeps
+    #: every run cold.  ``run()`` can alternatively be handed a live store,
+    #: which takes precedence.
+    cache_dir: Optional[str] = None
     #: Skip functions smaller than this many IR instructions.
     min_function_size: int = 3
     #: Allow merged functions to be merged again with further candidates.
@@ -82,6 +89,9 @@ class MergeReport:
     exploration_threshold: int
     search_strategy: str = "exhaustive"
     search_stats: Optional[SearchStats] = None
+    #: Artifact-store hit/miss/load/store counters of this run (None when the
+    #: run had no store — the always-cold default).
+    persist_stats: Optional[StoreStats] = None
     size_before: int = 0
     size_after: int = 0
     instructions_before: int = 0
@@ -119,17 +129,24 @@ class FunctionMergingPass:
 
     # ------------------------------------------------------------ interface
     def run(self, module: Module,
-            analysis_manager: Optional[ModuleAnalysisManager] = None) -> MergeReport:
+            analysis_manager: Optional[ModuleAnalysisManager] = None,
+            artifact_store: Optional[ArtifactStore] = None) -> MergeReport:
         """Run the pass over ``module``.
 
         ``analysis_manager`` is threaded through the candidate index (shared
         fingerprints), the cost model (function sizes cached across the
         candidate loop), the mergers' SSA repair and the optional verifier.
-        Without one, every consumer computes its analyses from scratch — the
-        reported merges are bit-identical either way.
+        ``artifact_store`` (or ``options.cache_dir``) additionally lets the
+        candidate index warm-start its per-function signatures from disk.
+        Without either, every consumer computes its analyses from scratch —
+        the reported merges are bit-identical in all modes, only the work
+        differs.
         """
         options = self.options
         manager = analysis_manager
+        store = artifact_store
+        if store is None and options.cache_dir is not None:
+            store = ArtifactStore(options.cache_dir)
         # One cost model for the whole run; resolving it per attempt built a
         # fresh instance in the hot candidate loop.
         cost_model = options.resolved_cost_model()
@@ -146,8 +163,10 @@ class FunctionMergingPass:
 
         index = make_index(module, self.search_strategy,
                            min_size=options.min_function_size,
-                           analysis_manager=manager)
+                           analysis_manager=manager,
+                           artifact_store=store)
         report.search_stats = index.stats
+        report.persist_stats = store.stats if store is not None else None
         consumed: Set[Function] = set()
         worklist = index.functions_by_size()
 
@@ -233,9 +252,16 @@ class FunctionMergingPass:
                                           stats.alignment_dp_cells)
         size_a = cost_model.function_size(function, manager)
         size_b = cost_model.function_size(other, manager)
+        # The trial merged function is sized *without* the manager: it is
+        # evaluated exactly once and usually discarded, so caching buys
+        # nothing — and with a persistent tier attached, routing it through
+        # the manager would content-digest (canonicalize + hash) and write a
+        # store record for every throwaway attempt in this hot loop.  Sizes
+        # are deterministic, so the decision is identical either way;
+        # committed merged functions are re-sized through the manager in
+        # run(), where the result is actually reused.
         decision = cost_model.evaluate(function, other, merged.function,
-                                       size_a=size_a, size_b=size_b,
-                                       manager=manager)
+                                       size_a=size_a, size_b=size_b)
         report.records.append(MergeRecord(
             first=function.name, second=other.name, merged=merged.function.name,
             decision=decision, committed=False,

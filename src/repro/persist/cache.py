@@ -1,0 +1,124 @@
+"""Digest-keyed persistence for process-external analyses.
+
+:class:`PersistentAnalysisCache` is the backend a
+:class:`~repro.analysis.manager.FunctionAnalysisManager` consults on an
+in-memory miss (the ``persistent=`` constructor argument).  It only handles
+analyses whose results are **pure data** that survives a round-trip through
+JSON — fingerprints and cost-model function sizes.  Object-graph analyses
+(dominator trees, liveness, block plans) are deliberately *not* persistable:
+their results alias live IR objects, which have no meaning in another
+process.
+
+Keys are content digests (:meth:`repro.ir.function.Function.content_digest`),
+so there is no epoch bookkeeping on disk at all: a function whose body
+changed gets a new digest and simply misses; the old record ages out unused.
+Decoded payloads are validated strictly — a record that decodes into
+something shaped wrong is reported to the store as corrupt and treated as a
+miss, keeping the "bad record ⇒ cold rebuild, never an error" contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+from ..analysis.fingerprint import _FINGERPRINT_BUCKETS, Fingerprint
+from ..ir.function import Function
+from .store import ArtifactStore
+
+#: Store-kind prefix of all analysis artifacts.
+ANALYSIS_KIND_PREFIX = "analysis."
+
+
+@dataclass(frozen=True)
+class _Codec:
+    """JSON encode/decode pair of one persistable analysis result type."""
+
+    encode: Callable[[Any], Any]
+    decode: Callable[[Any], Any]
+
+
+def _is_count(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def _encode_fingerprint(fingerprint: Fingerprint) -> Any:
+    return {"counts": list(fingerprint.counts), "size": fingerprint.size}
+
+
+def _decode_fingerprint(payload: Any) -> Fingerprint:
+    if not isinstance(payload, dict):
+        raise ValueError("fingerprint payload is not an object")
+    counts = payload.get("counts")
+    size = payload.get("size")
+    if (not isinstance(counts, list)
+            or len(counts) != len(_FINGERPRINT_BUCKETS)
+            or not all(_is_count(count) for count in counts)
+            or not _is_count(size)):
+        raise ValueError("malformed fingerprint payload")
+    return Fingerprint(tuple(counts), size)
+
+
+def _decode_size(payload: Any) -> int:
+    if not _is_count(payload):
+        raise ValueError("malformed function-size payload")
+    return payload
+
+
+_CODECS = {
+    "fingerprint": _Codec(_encode_fingerprint, _decode_fingerprint),
+}
+
+#: Shared codec of every ``function_size:<model>`` analysis (plain counts).
+_SIZE_CODEC = _Codec(int, _decode_size)
+
+
+class PersistentAnalysisCache:
+    """Backs an analysis manager with an :class:`ArtifactStore`.
+
+    Duck-typed backend interface consumed by
+    :meth:`repro.analysis.manager.FunctionAnalysisManager.get`:
+    ``load(name, function) -> (found, value)`` and
+    ``save(name, function, value) -> bool``.  Analyses without a codec are
+    transparently non-persistable — ``load`` declines without touching the
+    store, so its counters only ever reflect real disk traffic.
+    """
+
+    def __init__(self, store: ArtifactStore) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------- interface
+    def persistable(self, name: str) -> bool:
+        return self._codec(name) is not None
+
+    def load(self, name: str, function: Function) -> Tuple[bool, Any]:
+        codec = self._codec(name)
+        if codec is None:
+            return False, None
+        payload = self.store.load(self._kind(name), function.content_digest())
+        if payload is None:
+            return False, None
+        try:
+            return True, codec.decode(payload)
+        except (KeyError, TypeError, ValueError):
+            self.store.note_invalid_payload()
+            return False, None
+
+    def save(self, name: str, function: Function, value: Any) -> bool:
+        codec = self._codec(name)
+        if codec is None:
+            return False
+        return self.store.store(self._kind(name), function.content_digest(),
+                                codec.encode(value))
+
+    # -------------------------------------------------------------- internal
+    @staticmethod
+    def _codec(name: str) -> Optional[_Codec]:
+        codec = _CODECS.get(name)
+        if codec is None and name.startswith("function_size:"):
+            codec = _SIZE_CODEC
+        return codec
+
+    @staticmethod
+    def _kind(name: str) -> str:
+        return f"{ANALYSIS_KIND_PREFIX}{name}"

@@ -34,8 +34,9 @@ from __future__ import annotations
 import hashlib
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.counters import count_construction
 from ..analysis.fingerprint import (
     Fingerprint,
     RankedCandidate,
@@ -62,7 +63,8 @@ class CandidateIndex(ABC):
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
-                 analysis_manager=None) -> None:
+                 analysis_manager=None,
+                 artifact_store=None) -> None:
         self.module = module
         self.min_size = min_size
         self.strategy = strategy or resolve_strategy(self.strategy_name)
@@ -72,6 +74,11 @@ class CandidateIndex(ABC):
         #: index rebuilds for functions the merge pass never touched) instead
         #: of being computed privately by every index.
         self.analysis_manager = analysis_manager
+        #: Optional repro.persist.ArtifactStore: strategies with expensive
+        #: per-function derivations (the MinHash signatures) then load them
+        #: by content digest and only compute for functions whose digest the
+        #: store has never seen.
+        self.artifact_store = artifact_store
         self.fingerprints: Dict[Function, Fingerprint] = {}
         for function in module.defined_functions():
             # Initial build: populate without touching the maintenance stats,
@@ -228,6 +235,39 @@ class ExhaustiveIndex(CandidateIndex):
         return self._filter_pairs(self.fingerprints.items(), function, exclude)
 
 
+#: Modulus of the universal hash family: the Mersenne prime 2^61 - 1.
+_MERSENNE_PRIME = (1 << 61) - 1
+
+
+def _hash_family(seed: int, count: int) -> List[Tuple[int, int]]:
+    """``count`` universal-hash parameter pairs, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    return [(rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
+            for _ in range(count)]
+
+
+def _minhash(tokens: Sequence[int],
+             hash_params: Sequence[Tuple[int, int]]) -> List[int]:
+    """MinHash of a token set under each ``(a, b)`` universal hash."""
+    return [min((a * token + b) % _MERSENNE_PRIME for token in tokens)
+            for a, b in hash_params]
+
+
+def _fingerprint_tokens(fingerprint: Fingerprint) -> List[int]:
+    """Unary encoding of a fingerprint: bucket ``i`` with count ``c``
+    contributes tokens ``(i, 1) .. (i, c)``.
+
+    The Jaccard similarity of two unary encodings is ``(1 - d') / (1 + d')``
+    for normalised Manhattan distance ``d'``, so MinHash bands over these
+    tokens recall exactly the low-distance pairs the exhaustive ranking puts
+    first — the band family shared by :class:`MinHashLSHIndex` (its
+    histogram bands) and :class:`SizeBucketIndex` (its bucket partitions).
+    """
+    return [((bucket << 16) | count)
+            for bucket, total in enumerate(fingerprint.counts)
+            for count in range(1, total + 1)] or [0]
+
+
 class SizeBucketIndex(CandidateIndex):
     """Log-scale size bucketing: only comparably-sized functions are scanned.
 
@@ -239,6 +279,15 @@ class SizeBucketIndex(CandidateIndex):
     side therefore keeps near-exhaustive recall while skipping most of the
     population on modules with a wide size distribution.  The radius widens
     automatically until the pool covers the requested ``threshold``.
+
+    Size alone degenerates on *homogeneous* populations: when most functions
+    share a size bucket, every query scanned essentially everything.  Large
+    buckets are therefore sub-partitioned by MinHash bands over the
+    fingerprint's unary encoding (``bucket_bands`` x ``bucket_rows``): within
+    a bucket of more than ``bucket_band_min`` members, a query only scans the
+    members colliding with it in at least one band — same-size functions
+    still partition by similarity.  Small buckets keep the exact full-bucket
+    scan (partitioning them saves nothing and risks recall).
     """
 
     strategy_name = "size_buckets"
@@ -246,19 +295,45 @@ class SizeBucketIndex(CandidateIndex):
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
-                 analysis_manager=None) -> None:
+                 analysis_manager=None,
+                 artifact_store=None) -> None:
         # Insertion-ordered dicts keep per-bucket membership deterministic.
         self._buckets: Dict[int, Dict[Function, Fingerprint]] = {}
+        strategy = strategy or resolve_strategy(self.strategy_name)
+        self._band_count = max(0, strategy.bucket_bands)
+        self._band_rows = max(1, strategy.bucket_rows)
+        self._band_min = max(0, strategy.bucket_band_min)
+        self._band_hashes = _hash_family(strategy.hash_seed ^ 0x5B5B,
+                                         self._band_count * self._band_rows)
+        #: Per size bucket, one hash table per band: band key -> members.
+        self._band_tables: Dict[int, List[Dict[Tuple[int, ...],
+                                               Dict[Function, Fingerprint]]]] = {}
+        self._band_keys: Dict[Function, Tuple[Tuple[int, ...], ...]] = {}
         super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
-                         analysis_manager=analysis_manager)
+                         analysis_manager=analysis_manager,
+                         artifact_store=artifact_store)
 
     @staticmethod
     def _bucket_of(size: int) -> int:
         return max(0, size).bit_length()
 
+    def _band_keys_of(self, fingerprint: Fingerprint) -> Tuple[Tuple[int, ...], ...]:
+        values = _minhash(_fingerprint_tokens(fingerprint), self._band_hashes)
+        rows = self._band_rows
+        return tuple(tuple(values[band * rows:(band + 1) * rows])
+                     for band in range(self._band_count))
+
     def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
-        self._buckets.setdefault(self._bucket_of(fingerprint.size),
-                                 {})[function] = fingerprint
+        bucket = self._bucket_of(fingerprint.size)
+        self._buckets.setdefault(bucket, {})[function] = fingerprint
+        if not self._band_count:
+            return
+        keys = self._band_keys_of(fingerprint)
+        self._band_keys[function] = keys
+        tables = self._band_tables.setdefault(
+            bucket, [{} for _ in range(self._band_count)])
+        for band, key in enumerate(keys):
+            tables[band].setdefault(key, {})[function] = fingerprint
 
     def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
         bucket = self._bucket_of(fingerprint.size)
@@ -267,6 +342,37 @@ class SizeBucketIndex(CandidateIndex):
             members.pop(function, None)
             if not members:
                 del self._buckets[bucket]
+        keys = self._band_keys.pop(function, None)
+        tables = self._band_tables.get(bucket)
+        if keys is None or tables is None:
+            return
+        for band, key in enumerate(keys):
+            band_members = tables[band].get(key)
+            if band_members is not None:
+                band_members.pop(function, None)
+                if not band_members:
+                    del tables[band][key]
+        if bucket not in self._buckets:
+            self._band_tables.pop(bucket, None)
+
+    def _bucket_pool(self, bucket: int, function: Function,
+                     query_keys: Optional[Tuple[Tuple[int, ...], ...]]
+                     ) -> Iterable[Tuple[Function, Fingerprint]]:
+        """One size bucket's candidates: everyone in a small bucket, only the
+        band-colliding members of a large one."""
+        members = self._buckets[bucket]
+        if (query_keys is None or not self._band_count
+                or len(members) <= self._band_min):
+            return members.items()
+        tables = self._band_tables.get(bucket)
+        if tables is None:
+            return members.items()
+        pool: Dict[Function, Fingerprint] = {}
+        for band, key in enumerate(query_keys):
+            hit = tables[band].get(key)
+            if hit:
+                pool.update(hit)
+        return pool.items()
 
     def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
                         threshold: int, exclude: set
@@ -274,21 +380,21 @@ class SizeBucketIndex(CandidateIndex):
         center = self._bucket_of(fingerprint.size)
         occupied = sorted(self._buckets)
         radius = max(0, self.strategy.bucket_radius)
+        query_keys = self._band_keys.get(function) if self._band_count else None
+        if query_keys is None and self._band_count:
+            query_keys = self._band_keys_of(fingerprint)
         pool: List[Tuple[Function, Fingerprint]] = []
         included: set = set()
         while True:
             for bucket in occupied:
                 if bucket not in included and abs(bucket - center) <= radius:
                     included.add(bucket)
-                    pool.extend(self._filter_pairs(self._buckets[bucket].items(),
-                                                   function, exclude))
+                    pool.extend(self._filter_pairs(
+                        self._bucket_pool(bucket, function, query_keys),
+                        function, exclude))
             if len(pool) >= threshold or len(included) == len(occupied):
                 return pool
             radius += 1
-
-
-#: Modulus of the universal hash family: the Mersenne prime 2^61 - 1.
-_MERSENNE_PRIME = (1 << 61) - 1
 
 
 class MinHashLSHIndex(CandidateIndex):
@@ -324,41 +430,58 @@ class MinHashLSHIndex(CandidateIndex):
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
-                 analysis_manager=None) -> None:
+                 analysis_manager=None,
+                 artifact_store=None) -> None:
         strategy = strategy or resolve_strategy(self.strategy_name)
         self._num_bands = max(1, strategy.num_bands)
         self._rows = max(1, strategy.rows_per_band)
         self._fp_bands = max(0, strategy.fingerprint_bands)
         self._fp_rows = max(1, strategy.fingerprint_rows)
-        rng = random.Random(strategy.hash_seed)
         total_hashes = (self._num_bands * self._rows
                         + self._fp_bands * self._fp_rows)
-        self._hash_params: List[Tuple[int, int]] = [
-            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
-            for _ in range(total_hashes)]
+        self._hash_params = _hash_family(strategy.hash_seed, total_hashes)
+        # Signatures persisted under this key are only reusable by an index
+        # with the same banding geometry, shingle size and hash family.
+        self._config_key = hashlib.blake2b(
+            repr(("minhash-v1", strategy.shingle_size, self._num_bands,
+                  self._rows, self._fp_bands, self._fp_rows,
+                  strategy.hash_seed)).encode("ascii"),
+            digest_size=8).hexdigest()
         self._tables: List[Dict[Tuple[int, ...], Dict[Function, Fingerprint]]] = [
             {} for _ in range(self._num_bands + self._fp_bands)]
         self._signatures: Dict[Function, Tuple[int, ...]] = {}
         super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
-                         analysis_manager=analysis_manager)
+                         analysis_manager=analysis_manager,
+                         artifact_store=artifact_store)
 
     # ------------------------------------------------------------ signatures
     def _signature(self, function: Function, fingerprint: Fingerprint) -> Tuple[int, ...]:
+        store = self.artifact_store
+        store_key = None
+        if store is not None:
+            store_key = f"{function.content_digest()}.{self._config_key}"
+            payload = store.load("minhash_signature", store_key)
+            if payload is not None:
+                if (isinstance(payload, list)
+                        and len(payload) == len(self._hash_params)
+                        and all(isinstance(value, int)
+                                and not isinstance(value, bool)
+                                and 0 <= value < _MERSENNE_PRIME
+                                for value in payload)):
+                    return tuple(payload)
+                store.note_invalid_payload()
+        count_construction("MinHashSignature")
         shingles = [self._shingle_id(shingle)
                     for shingle in opcode_shingles(function, self.strategy.shingle_size)]
         if not shingles:
             shingles = [0]
         split = self._num_bands * self._rows
-        signature = [
-            min((a * shingle + b) % _MERSENNE_PRIME for shingle in shingles)
-            for a, b in self._hash_params[:split]]
+        signature = _minhash(shingles, self._hash_params[:split])
         if self._fp_bands:
-            tokens = [((bucket << 16) | count)
-                      for bucket, total in enumerate(fingerprint.counts)
-                      for count in range(1, total + 1)] or [0]
-            signature.extend(
-                min((a * token + b) % _MERSENNE_PRIME for token in tokens)
-                for a, b in self._hash_params[split:])
+            signature.extend(_minhash(_fingerprint_tokens(fingerprint),
+                                      self._hash_params[split:]))
+        if store is not None:
+            store.store("minhash_signature", store_key, signature)
         return tuple(signature)
 
     @staticmethod

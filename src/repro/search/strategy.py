@@ -45,6 +45,16 @@ class SearchStrategy:
     # -- size_buckets knobs ------------------------------------------------
     #: How many log2 size buckets on each side of the query's bucket to scan.
     bucket_radius: int = 1
+    #: Sub-partition large size buckets by MinHash bands over the fingerprint
+    #: (``bucket_bands`` tables keyed by ``bucket_rows`` hashes each), so a
+    #: homogeneous population — everyone in one size bucket — still scans
+    #: only similar candidates.  0 bands restores pure size bucketing.
+    bucket_bands: int = 6
+    bucket_rows: int = 4
+    #: Buckets at or below this population keep the exact full-bucket scan;
+    #: band partitioning only pays off once a single bucket is large enough
+    #: that scanning it dominates the query.
+    bucket_band_min: int = 64
     # -- minhash_lsh knobs -------------------------------------------------
     #: Length of the opcode k-grams fed to MinHash.
     shingle_size: int = 3
@@ -98,17 +108,22 @@ def resolve_strategy(strategy: Union[str, SearchStrategy, None]) -> SearchStrate
 def make_index(module, strategy: Union[str, SearchStrategy, None] = None,
                min_size: int = 2,
                stats: Optional[SearchStats] = None,
-               analysis_manager=None):
+               analysis_manager=None,
+               artifact_store=None):
     """Build a :class:`CandidateIndex` over ``module`` for ``strategy``.
 
     ``analysis_manager`` (see :mod:`repro.analysis.manager`) makes the index
     pull function fingerprints from the shared per-function cache instead of
-    computing its own.
+    computing its own.  ``artifact_store`` (see :mod:`repro.persist`) lets
+    strategies with expensive per-function derivations — the MinHash
+    signatures — load them by content digest and compute only what the store
+    has never seen.
     """
     resolved = resolve_strategy(strategy)
     factory = _REGISTRY[resolved.name]
     return factory(module, min_size=min_size, strategy=resolved, stats=stats,
-                   analysis_manager=analysis_manager)
+                   analysis_manager=analysis_manager,
+                   artifact_store=artifact_store)
 
 
 def _ensure_builtin_strategies() -> None:

@@ -5,6 +5,7 @@ from .generator import (
     ProgramSpec,
     WorkloadGenerator,
     generate_program,
+    generate_program_in_batches,
     simple_spec,
 )
 from .spec_like import (

@@ -83,41 +83,62 @@ class ProgramSpec:
 
 
 class WorkloadGenerator:
-    """Generates synthetic modules according to a :class:`ProgramSpec`."""
+    """Generates synthetic modules according to a :class:`ProgramSpec`.
 
-    def __init__(self, spec: ProgramSpec) -> None:
+    A generator can target a shared, pre-existing ``module`` (with shared
+    external declarations and name offsets), which is how
+    :func:`generate_program_in_batches` assembles very large programs from
+    independent per-batch generators without any cross-batch state.
+    """
+
+    def __init__(self, spec: ProgramSpec, module: Optional[Module] = None,
+                 externals: Optional[List[Function]] = None,
+                 family_offset: int = 0) -> None:
         self.spec = spec
         self.rng = random.Random(spec.seed)
-        self.module = Module(spec.name)
-        self.externals: List[Function] = []
+        self.module = module if module is not None else Module(spec.name)
+        self.externals: List[Function] = list(externals) if externals else []
+        self._family_offset = family_offset
         #: Loop-control instructions (guards and induction updates) that clone
         #: mutations must never touch, so every generated function keeps its
-        #: termination guarantee under the reference interpreter.
-        self._protected: set = set()
+        #: termination guarantee under the reference interpreter.  Scoped per
+        #: function: a clone can only inherit protections from its own
+        #: template, and the former generator-global set made every clone
+        #: mutation scan the protections of *all* previously generated
+        #: functions — quadratic in module size, pure waste.
+        self._protected_by_function: Dict[Function, set] = {}
+
+    def _protected_of(self, function: Function) -> set:
+        return self._protected_by_function.setdefault(function, set())
 
     # ------------------------------------------------------------ interface
     def generate(self) -> Module:
         """Generate the whole program module."""
-        self._declare_externals()
-        function_index = 0
+        generated = self.generate_functions()
+        if self.spec.with_main:
+            self.generate_main(generated)
+        return self.module
+
+    def generate_functions(self) -> List[Function]:
+        """Generate the spec's families and standalone functions (no main)."""
+        if not self.externals:
+            self._declare_externals()
         generated: List[Function] = []
         for family_index, family in enumerate(self.spec.families):
+            offset_index = family_index + self._family_offset
             template = self.generate_function(
-                f"{self.spec.name}_fam{family_index}_0", family.function_size)
+                f"{self.spec.name}_fam{offset_index}_0", family.function_size)
             generated.append(template)
             for clone_index in range(1, family.size):
                 clone = self.mutate_clone(
-                    template, f"{self.spec.name}_fam{family_index}_{clone_index}",
+                    template, f"{self.spec.name}_fam{offset_index}_{clone_index}",
                     family.divergence)
                 generated.append(clone)
-            function_index += family.size
         for standalone_index in range(self.spec.standalone_functions):
             generated.append(self.generate_function(
                 f"{self.spec.name}_fn{standalone_index}",
                 max(6, int(self.spec.standalone_size * self.rng.uniform(0.5, 1.5)))))
-        if self.spec.with_main:
-            self._generate_main(generated)
-        return self.module
+        return generated
 
     # ------------------------------------------------------------ externals
     def _declare_externals(self) -> None:
@@ -284,7 +305,7 @@ class WorkloadGenerator:
         new_accumulator = builder.add(accumulator, self._pick_int_value(body_values[2:]
                                                                         or body_values))
         next_counter = builder.add(counter, Constant(I32, 1))
-        self._protected.update({condition, next_counter})
+        self._protected_of(function).update({condition, next_counter})
         body_exit = builder.block
         builder.br(header)
         counter.add_incoming(next_counter, body_exit)
@@ -305,8 +326,9 @@ class WorkloadGenerator:
         demoted stack accesses that hurts FMSA (paper §3).
         """
         clone, value_map = clone_function(template, name, self.module)
-        protected = {value_map[inst] for inst in self._protected if inst in value_map}
-        self._protected.update(protected)
+        protected = {value_map[inst] for inst in self._protected_of(template)
+                     if inst in value_map}
+        self._protected_by_function[clone] = protected
         instructions = [i for i in clone.instructions()]
         mutations = max(1, int(len(instructions) * divergence))
         rng = self.rng
@@ -389,7 +411,8 @@ class WorkloadGenerator:
                     inst.set_operand(0, rng.choice(alternatives))
 
     # ----------------------------------------------------------------- main
-    def _generate_main(self, functions: List[Function]) -> None:
+    def generate_main(self, functions: List[Function]) -> None:
+        """Emit the ``main`` driver calling into the first generated functions."""
         main = self.module.create_function(f"{self.spec.name}_main",
                                            FunctionType(I32, (I32,)), ["n"])
         entry = main.add_block("entry")
@@ -409,6 +432,65 @@ class WorkloadGenerator:
 def generate_program(spec: ProgramSpec) -> Module:
     """Generate a synthetic program module from a specification."""
     return WorkloadGenerator(spec).generate()
+
+
+def generate_program_in_batches(spec: ProgramSpec, batch_size: int = 1024) -> Module:
+    """Generate ``spec`` in independently seeded family batches.
+
+    Families are grouped into batches of at most ``batch_size`` functions;
+    each batch runs its own :class:`WorkloadGenerator` (seeded from
+    ``spec.seed`` and the batch index) into one shared module, with shared
+    external declarations and offset family numbering.  Per-batch generator
+    state is dropped as soon as the batch is done, so generation cost and
+    bookkeeping stay linear however large the program gets — this is what
+    lets the candidate-search benchmark extend past 4096 functions.
+
+    Deterministic: the same spec and batch size always produce the same
+    module.  A spec that fits in a single batch produces *exactly* the module
+    :func:`generate_program` produces (the first batch reuses ``spec.seed``);
+    multi-batch output is an equally structured but differently sampled
+    population.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    batches: List[List[FamilySpec]] = []
+    current: List[FamilySpec] = []
+    current_functions = 0
+    for family in spec.families:
+        if current and current_functions + family.size > batch_size:
+            batches.append(current)
+            current, current_functions = [], 0
+        current.append(family)
+        current_functions += family.size
+    batches.append(current)  # final batch also carries the standalones
+
+    module = Module(spec.name)
+    externals: Optional[List[Function]] = None
+    generated: List[Function] = []
+    first_generator: Optional[WorkloadGenerator] = None
+    family_offset = 0
+    for batch_index, families in enumerate(batches):
+        last = batch_index == len(batches) - 1
+        sub_spec = ProgramSpec(
+            name=spec.name,
+            seed=spec.seed if batch_index == 0
+            else spec.seed * 1_000_003 + batch_index,
+            families=list(families),
+            standalone_functions=spec.standalone_functions if last else 0,
+            standalone_size=spec.standalone_size,
+            exception_density=spec.exception_density,
+            external_pool=spec.external_pool,
+            with_main=False)
+        generator = WorkloadGenerator(sub_spec, module=module, externals=externals,
+                                      family_offset=family_offset)
+        generated.extend(generator.generate_functions())
+        externals = generator.externals
+        if first_generator is None:
+            first_generator = generator
+        family_offset += len(families)
+    if spec.with_main and first_generator is not None:
+        first_generator.generate_main(generated)
+    return module
 
 
 def simple_spec(name: str, seed: int = 0, num_families: int = 3, family_size: int = 2,

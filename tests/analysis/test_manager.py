@@ -85,6 +85,23 @@ class TestMutationEpoch:
         function.num_instructions()
         assert function.mutation_epoch == before
 
+    def test_predicate_rewrite_bumps_epoch(self):
+        # An in-place CmpInst.predicate rewrite (as the workload generator's
+        # clone mutations do) changes the instruction's meaning and must
+        # invalidate cached analyses and content digests like any operand
+        # rewrite would.
+        _, function = _diamond()
+        cmp = function.value_by_name("c")
+        before = function.mutation_epoch
+        digest_before = function.content_digest()
+        cmp.predicate = "sle"
+        assert function.mutation_epoch > before
+        assert function.content_digest() != digest_before
+        # Writing the same predicate back-to-back is not a mutation.
+        after = function.mutation_epoch
+        cmp.predicate = "sle"
+        assert function.mutation_epoch == after
+
 
 class TestFunctionAnalysisManager:
     def test_caches_until_mutation(self):
@@ -256,3 +273,62 @@ class TestModuleAnalysisManager:
         assert manager.get(DOMTREE, function) is tree
         assert manager.fingerprint(function) is manager.get(FINGERPRINT, function)
         assert manager.stats.queries == 4
+
+
+class TestBlockPlans:
+    """The block_plan analysis shared by the reference interpreter."""
+
+    def test_block_plans_cached_and_epoch_keyed(self):
+        module, function = _diamond()
+        manager = FunctionAnalysisManager()
+        with track_constructions() as tracker:
+            plans = manager.block_plans(function)
+            assert manager.block_plans(function) is plans
+        assert tracker.delta("BlockPlan") == 1
+        entry = function.entry_block
+        phis, body_start = plans[entry]
+        assert phis == ()
+        assert body_start == 0
+        # A mutation invalidates the plan like any other analysis.
+        function.notify_mutated()
+        with track_constructions() as tracker:
+            assert manager.block_plans(function) is not plans
+        assert tracker.delta("BlockPlan") == 1
+
+    def test_interpreter_shares_manager_plans(self):
+        from repro.ir import run_function
+        module, function = _diamond()
+        manager = ModuleAnalysisManager(module)
+        with track_constructions() as tracker:
+            for argument in (1, 5, 9):
+                first = run_function(module, function, (argument,),
+                                     analysis_manager=manager)
+                second = run_function(module, function, (argument,))
+                assert first.observable() == second.observable()
+        # Three managed runs derive the plans once; the three unmanaged
+        # interpreters each derive their own.
+        assert tracker.delta("BlockPlan") == 4
+
+    def test_interpreter_local_cache_derives_once_per_run(self):
+        from repro.ir import Interpreter
+        module, function = _diamond()
+        interpreter = Interpreter(module)
+        with track_constructions() as tracker:
+            for argument in (1, 5, 9):
+                interpreter.run(function, (argument,))
+        assert tracker.delta("BlockPlan") == 1
+
+    def test_phi_insertion_invalidates_plans_despite_cfg_preservation(self):
+        # mem2reg preserves the CFG analyses but inserts phis — the block
+        # plans must NOT survive (they are not in CFG_ANALYSES).
+        module, function = _diamond()
+        manager = FunctionAnalysisManager()
+        from repro.analysis.manager import BLOCK_PLAN
+        assert BLOCK_PLAN not in CFG_ANALYSES
+        stale = manager.block_plans(function)
+        promote_allocas(function, manager)
+        fresh = manager.block_plans(function)
+        assert fresh is not stale
+        join = function.block_by_name("join")
+        phis, body_start = fresh[join]
+        assert len(phis) == 2 and body_start == 2

@@ -259,6 +259,118 @@ class TestMergePassIntegration:
         assert sizes["minhash_lsh"] <= 1.05 * sizes["exhaustive"]
 
 
+class TestHomogeneousPopulations:
+    """Size bucketing composed with fingerprint bands (the ROADMAP fix):
+    same-size functions must still partition instead of degenerating into one
+    fully scanned bucket."""
+
+    @staticmethod
+    def _homogeneous_workload(num_functions=256, seed=7, size=30):
+        import random as random_module
+        from repro.workloads.generator import FamilySpec, ProgramSpec
+        rng = random_module.Random(seed)
+        families = []
+        remaining = int(num_functions * 0.8)
+        while remaining >= 2:
+            family_size = min(rng.randint(2, 4), remaining)
+            families.append(FamilySpec(size=family_size, divergence=0.07,
+                                       function_size=size))
+            remaining -= family_size
+        spec = ProgramSpec(name="homog", seed=seed, families=families,
+                           standalone_functions=num_functions
+                           - sum(f.size for f in families),
+                           standalone_size=size, with_main=False)
+        module = generate_program(spec)
+        simplify_module(module)
+        return module
+
+    def _measure(self, module, strategy, top_k=2):
+        reference = make_index(module, "exhaustive", min_size=3)
+        index = make_index(module, strategy, min_size=3)
+        quality = queries = 0.0
+        for function in reference.functions_by_size():
+            quality += quality_recall(reference.candidates_for(function, top_k),
+                                      index.candidates_for(function, top_k))
+            queries += 1
+        return quality / queries, index.stats.scan_fraction
+
+    def test_bands_partition_homogeneous_population(self):
+        module = self._homogeneous_workload()
+        unbanded = SearchStrategy(name="size_buckets", bucket_bands=0)
+        _, degenerate_scan = self._measure(module, unbanded)
+        quality, banded_scan = self._measure(module, "size_buckets")
+        # Pre-fix behaviour: essentially everything in one bucket is scanned.
+        assert degenerate_scan > 0.85
+        # Composed with fingerprint bands, the same population partitions —
+        # and the distance-aware recall stays essentially exhaustive.
+        assert banded_scan < 0.65
+        assert quality >= 0.95
+
+    def test_small_buckets_keep_exact_scan(self):
+        # Below bucket_band_min the banding must not change the pool at all.
+        module = self._homogeneous_workload(num_functions=48)
+        banded = make_index(module, "size_buckets", min_size=3)
+        unbanded = make_index(
+            module, SearchStrategy(name="size_buckets", bucket_bands=0),
+            min_size=3)
+        for function in banded.functions_by_size():
+            assert [c.function for c in banded.candidates_for(function, 3)] == \
+                [c.function for c in unbanded.candidates_for(function, 3)]
+
+    def test_banded_discard_removes_all_traces(self):
+        module = self._homogeneous_workload()
+        index = make_index(module, "size_buckets", min_size=3)
+        victim = index.functions_by_size()[0]
+        index.remove(victim)
+        assert victim not in index._band_keys
+        for tables in index._band_tables.values():
+            for table in tables:
+                for members in table.values():
+                    assert victim not in members
+
+
+class TestPersistentSignatures:
+    """MinHash/LSH signatures loaded from a repro.persist store must be
+    indistinguishable from freshly computed ones."""
+
+    def test_store_backed_index_matches_cold_index(self, tmp_path, small_module):
+        from repro.analysis.counters import track_constructions
+        from repro.persist import ArtifactStore
+
+        cold = make_index(small_module, "minhash_lsh", min_size=3)
+        store = ArtifactStore(tmp_path)
+        with track_constructions() as tracker:
+            first = make_index(small_module, "minhash_lsh", min_size=3,
+                               artifact_store=store)
+        computed_cold = tracker.delta("MinHashSignature")
+        # Content-identical functions share a digest, so even the first
+        # store-backed build deduplicates: computed <= population.
+        assert 0 < computed_cold <= len(first._signatures)
+        with track_constructions() as tracker:
+            warm = make_index(small_module, "minhash_lsh", min_size=3,
+                              artifact_store=ArtifactStore(tmp_path))
+        assert tracker.delta("MinHashSignature") == 0
+        for function in cold.functions_by_size():
+            expected = [c.function for c in cold.candidates_for(function, 3)]
+            assert [c.function for c in first.candidates_for(function, 3)] == expected
+            assert [c.function for c in warm.candidates_for(function, 3)] == expected
+
+    def test_different_banding_configs_do_not_share_signatures(self, tmp_path,
+                                                               small_module):
+        from repro.persist import ArtifactStore
+
+        store = ArtifactStore(tmp_path)
+        make_index(small_module, "minhash_lsh", min_size=3, artifact_store=store)
+        other = SearchStrategy(name="minhash_lsh", num_bands=4, rows_per_band=2)
+        reshaped = make_index(small_module, other, min_size=3,
+                              artifact_store=store)
+        # The reshaped index found nothing reusable (different config key)
+        # and its signatures have its own geometry.
+        total = 4 * 2 + other.fingerprint_bands * other.fingerprint_rows
+        assert all(len(signature) == total
+                   for signature in reshaped._signatures.values())
+
+
 class TestStats:
     def test_record_and_merge(self):
         first = SearchStats(strategy="minhash_lsh")
