@@ -22,7 +22,7 @@ import os
 from repro.harness import candidate_search_comparison
 from repro.harness.reporting import format_search_comparison
 
-from conftest import FULL, run_once
+from conftest import FULL, append_trend, run_once
 
 SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
 SIZES = (256,) if SMOKE else \
@@ -42,6 +42,14 @@ def test_candidate_search_scaling(benchmark):
     lsh_rows = result.for_strategy("minhash_lsh")
     benchmark.extra_info["minhash_lsh_min_quality"] = round(
         min(row.quality for row in lsh_rows), 3)
+    for row in lsh_rows:
+        append_trend("candidate_search", num_functions=row.num_functions,
+                     strategy=row.strategy,
+                     scan_fraction=round(row.scan_fraction, 4),
+                     recall=round(row.recall, 4),
+                     quality=round(row.quality, 4),
+                     speedup=round(result.speedup_over_exhaustive(
+                         row.strategy, row.num_functions), 3))
     # The acceptance bar for the subsystem, measured at benchmark scale.
     # (Deterministic quantities only — the wall-clock speedup is recorded in
     # extra_info above but not asserted, so CI timing noise cannot fail it.)

@@ -1,0 +1,104 @@
+"""Worker-pool execution: serial vs process backends on the ranking phase.
+
+Not a paper figure — this benchmarks the ``repro.parallel`` subsystem that
+fans the merge pipeline's read-only hot path out over a worker pool.  Two
+tests:
+
+* **Ranking+scoring phase** (``parallel_ranking_comparison``): index
+  construction, a ``candidates_for`` query per function and alignment +
+  profitability scoring of each query's best pair, run once per backend over
+  identically generated modules.  The per-backend ranking digest — every
+  ranked answer and every pair score — must be bit-identical; that
+  determinism bar is asserted unconditionally.  The headline wall-clock
+  number is the process-backend speedup at the largest size; the subsystem's
+  acceptance bar is **>= 2x with 4 workers at 1024 functions**, asserted only
+  when the host actually exposes >= 4 CPUs (a single-core CI runner cannot
+  physically parallelise, and wall-clock assertions on starved hosts would
+  only measure the scheduler).
+* **Pipeline parity**: full merge-pass runs, serial vs process, cold and
+  warm-started from a shared artifact store — merge-report digests must
+  match bit for bit in all four cells.
+
+``REPRO_SMOKE=1`` shrinks the sweep to one small module (the CI smoke step);
+``REPRO_FULL=1`` extends it.  With ``REPRO_TREND=1`` the headline
+speedup/digest row is appended to ``benchmarks/trend.jsonl``.
+"""
+
+import os
+
+from repro.harness import merge_report_digest, parallel_ranking_comparison, \
+    run_pipeline, search_workload
+from repro.harness.reporting import format_parallel_ranking, format_parallel_stats
+
+from conftest import FULL, append_trend, run_once
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
+SIZES = (96,) if SMOKE else ((256, 1024, 2048) if FULL else (256, 1024))
+WORKERS = 2 if SMOKE else 4
+#: The speedup bar only binds where the parallelism physically exists.
+HOST_CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+    else (os.cpu_count() or 1)
+PARITY_SIZE = 64 if SMOKE else 128
+
+
+def test_parallel_ranking_speedup(benchmark):
+    result = run_once(benchmark, parallel_ranking_comparison,
+                      sizes=SIZES, workers=WORKERS)
+    print()
+    print(format_parallel_ranking(result))
+    for row in result.rows:
+        if row.parallel_stats is not None and row.backend == "process":
+            print(f"  {row.num_functions} fns: "
+                  f"{format_parallel_stats(row.parallel_stats)}")
+    largest = max(SIZES)
+    speedup = result.speedup(largest)
+    benchmark.extra_info["process_speedup_at_largest"] = round(speedup, 2)
+    benchmark.extra_info["host_cpus"] = HOST_CPUS
+    append_trend("parallel_ranking", num_functions=largest, workers=WORKERS,
+                 speedup=round(speedup, 3), host_cpus=HOST_CPUS,
+                 digests_match=all(result.digests_match(s) for s in SIZES))
+    # The determinism bar: byte-identical rankings and scores per backend.
+    for size in SIZES:
+        assert result.digests_match(size), \
+            f"serial and process rankings diverged at {size} functions"
+    # The acceptance bar (>= 2x with 4 workers at 1024 functions) binds only
+    # where the host can physically run the workers concurrently.
+    if HOST_CPUS >= WORKERS and not SMOKE:
+        assert speedup >= 2.0, (largest, WORKERS, HOST_CPUS, speedup)
+
+
+def test_parallel_pipeline_parity(benchmark, tmp_path):
+    """Full pipeline digests across backends, cold and warm-started."""
+
+    def compare():
+        shared = str(tmp_path / "store")
+        digests = {}
+        for label, kwargs in (
+                ("serial-cold", dict(parallel_workers=0, cache_dir=shared)),
+                ("process-warm", dict(parallel_workers=WORKERS,
+                                      parallel_backend="process",
+                                      cache_dir=shared)),
+                ("process-cold", dict(parallel_workers=WORKERS,
+                                      parallel_backend="process",
+                                      cache_dir=str(tmp_path / "cold"))),
+                ("serial-warm", dict(parallel_workers=0,
+                                     cache_dir=str(tmp_path / "cold"))),
+        ):
+            module = search_workload(PARITY_SIZE, seed=7)
+            run = run_pipeline(module, "parallel-parity", "salssa", 2,
+                               "arm_thumb", search_strategy="minhash_lsh",
+                               **kwargs)
+            digests[label] = merge_report_digest(run.report)
+        return digests
+
+    digests = run_once(benchmark, compare)
+    print()
+    reference = digests["serial-cold"]
+    for label, digest in digests.items():
+        status = "match" if digest == reference else "MISMATCH"
+        print(f"  {label}: {status}")
+    append_trend("parallel_pipeline_parity", num_functions=PARITY_SIZE,
+                 cells=len(digests),
+                 digests_match=all(d == reference for d in digests.values()))
+    assert all(digest == reference for digest in digests.values()), \
+        [label for label, digest in digests.items() if digest != reference]

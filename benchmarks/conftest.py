@@ -10,11 +10,45 @@ Set ``REPRO_FULL=1`` in the environment to evaluate the full benchmark lists
 and all exploration thresholds (slower; see EXPERIMENTS.md).
 """
 
+import json
 import os
+import subprocess
+import time
 
 import pytest
 
 FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+#: Opt-in trend tracking: set REPRO_TREND=1 to append one JSON line per
+#: headline metric to benchmarks/trend.jsonl, stamped with the current
+#: commit, so scan-fraction/recall/speedup can be charted *across* commits
+#: rather than eyeballed per run (ROADMAP benchmarks item).
+TREND = os.environ.get("REPRO_TREND", "0") not in ("0", "", "false")
+TREND_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "trend.jsonl")
+
+
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_trend(bench: str, **metrics) -> None:
+    """Append one per-commit trend row for ``bench`` (no-op without
+    REPRO_TREND=1).  Metrics must be JSON-serialisable scalars."""
+    if not TREND:
+        return
+    record = {"bench": bench, "commit": _current_commit(),
+              "unix_time": int(time.time())}
+    record.update(metrics)
+    with open(TREND_PATH, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 #: Benchmarks evaluated by default (None = the full paper list when REPRO_FULL=1).
 SPEC_SUBSET = None if FULL else (

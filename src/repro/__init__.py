@@ -14,6 +14,8 @@ The package is organised as follows:
 * :mod:`repro.search` — scalable candidate-search indexes for the merge pass.
 * :mod:`repro.persist` — a content-addressed on-disk artifact store that
   warm-starts repeated pipeline runs.
+* :mod:`repro.parallel` — a worker-pool execution engine for the pipeline's
+  read-only phases (candidate ranking and alignment scoring).
 * :mod:`repro.harness` — the experiment pipeline that regenerates every table
   and figure of the paper's evaluation section.
 """
@@ -21,4 +23,4 @@ The package is organised as follows:
 __version__ = "1.0.0"
 
 __all__ = ["ir", "analysis", "transforms", "merge", "workloads", "search",
-           "persist", "harness"]
+           "persist", "parallel", "harness"]

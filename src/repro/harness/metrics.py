@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..analysis.manager import AnalysisStats
+from ..parallel.stats import ParallelStats
 from ..persist import StoreStats
 from ..search.stats import SearchStats
 
@@ -117,6 +118,21 @@ def combine_store_stats(stats: Iterable[Optional[StoreStats]]) -> StoreStats:
     object; only combine stats of *distinct* stores or the totals double.
     """
     combined = StoreStats()
+    for entry in stats:
+        if entry is not None:
+            combined.merge(entry)
+    return combined
+
+
+def combine_parallel_stats(stats: Iterable[Optional[ParallelStats]]
+                           ) -> ParallelStats:
+    """Roll per-run worker-pool counters up into one aggregate.
+
+    Accepts the ``parallel_stats`` of many pipeline results (``None`` entries
+    — runs without a worker engine — are skipped), mirroring
+    :func:`combine_search_stats`.
+    """
+    combined = ParallelStats()
     for entry in stats:
         if entry is not None:
             combined.merge(entry)

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Union
 
 from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..parallel.stats import ParallelStats
 from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
 from ..ir.module import Module
@@ -48,6 +49,9 @@ class PipelineResult:
     #: Hit/miss/load/store counters of the content-addressed artifact store
     #: (None when the run had no ``cache_dir`` — the always-cold default).
     persist_stats: Optional[StoreStats] = None
+    #: Worker-pool counters of the merge pass (None when the run had no
+    #: engine — ``parallel_workers=0``, the serial default).
+    parallel_stats: Optional[ParallelStats] = None
 
     @property
     def reduction_percent(self) -> float:
@@ -83,7 +87,9 @@ def baseline_compile(module: Module,
 def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
                       phi_coalescing: bool = True,
                       search_strategy: Union[str, SearchStrategy] = "exhaustive",
-                      cache_dir: Optional[str] = None
+                      cache_dir: Optional[str] = None,
+                      parallel_workers: int = 0,
+                      parallel_backend: str = "process"
                       ) -> MergePassOptions:
     """Build pass options for one experimental configuration."""
     return MergePassOptions(
@@ -93,6 +99,8 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
         size_model=size_model,
         salssa=SalSSAOptions(phi_coalescing=phi_coalescing),
         cache_dir=cache_dir,
+        parallel_workers=parallel_workers,
+        parallel_backend=parallel_backend,
     )
 
 
@@ -104,13 +112,22 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  analysis_manager: Optional[ModuleAnalysisManager] = None,
                  analysis_caching: bool = True,
                  cache_dir: Optional[str] = None,
-                 artifact_store: Optional[ArtifactStore] = None
+                 artifact_store: Optional[ArtifactStore] = None,
+                 parallel_workers: int = 0,
+                 parallel_backend: str = "process"
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
     ``technique`` may be ``"salssa"``, ``"fmsa"`` or ``"none"`` (baseline only).
     ``search_strategy`` selects the candidate index the merge pass queries;
     the default keeps the seed's exhaustive ranking.
+
+    ``parallel_workers`` (see :mod:`repro.parallel`) fans the merge pass's
+    read-only phases — index-artifact construction and candidate prefetch —
+    out over a worker pool (``parallel_backend``: ``"process"`` or the
+    in-process ``"serial"`` reference).  Codegen stays serial; results are
+    bit-identical at any worker count, only the wall-clock differs.  Worker
+    counters land on :attr:`PipelineResult.parallel_stats`.
 
     The pipeline owns a module-level :class:`ModuleAnalysisManager` shared by
     the clean-up transforms, the verifier, the merge pass, its cost model and
@@ -148,7 +165,9 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                               persist_stats=store.stats if store else None)
 
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
-                                search_strategy=search_strategy)
+                                search_strategy=search_strategy,
+                                parallel_workers=parallel_workers,
+                                parallel_backend=parallel_backend)
     merging_pass = FunctionMergingPass(options)
 
     peak_bytes = 0
@@ -176,4 +195,5 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         peak_merge_bytes=peak_bytes,
         analysis_stats=manager.stats if manager else None,
         persist_stats=store.stats if store else None,
+        parallel_stats=report.parallel_stats,
     )

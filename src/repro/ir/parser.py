@@ -144,6 +144,59 @@ def parse_function(text: str, module: Optional[Module] = None) -> Function:
     return result
 
 
+_CANONICAL_HEADER_RE = re.compile(r"^(define|declare)\s+(.+?)\s*\((.*)\)\s*\{?\s*$")
+
+
+def parse_canonical_function(text: str, name: str = "f",
+                             module: Optional[Module] = None) -> Function:
+    """Reconstruct a function from its canonical, name-independent text.
+
+    Inverse of :func:`repro.ir.printer.canonical_function_text`: the header
+    carries no function name and bare parameter types (arguments are
+    referenced as ``%a0..`` in the body), and globals the function uses are
+    referenced by name without being defined.  The function is rebuilt under
+    ``name`` (in ``module``, or a fresh one) with positional argument names
+    and implicitly declared globals, so that read-only analyses — and the
+    canonical serialization itself — see exactly the shipped content:
+
+    >>> canonical_function_text(parse_canonical_function(t)) == t
+
+    holds for every canonical text ``t``, which makes
+    ``Function.content_digest()`` stable across a ship/reconstruct round trip.
+    This is how ``repro.parallel`` workers rebuild read-only IR from the
+    artifacts the parent process ships them.
+    """
+    lines = [_strip_comment(raw) for raw in text.splitlines()]
+    stripped = [line.strip() for line in lines if line.strip()]
+    if not stripped:
+        raise ParseError("empty canonical function text")
+    match = _CANONICAL_HEADER_RE.match(stripped[0])
+    if not match:
+        raise ParseError("malformed canonical function header", stripped[0])
+    keyword, return_text, params_text = match.groups()
+    param_types: List[Type] = []
+    params_text = params_text.strip()
+    vararg = "..." in params_text
+    if params_text:
+        for param in _split_top_level(params_text):
+            param = param.strip()
+            if param == "...":
+                continue
+            param_types.append(parse_type(param))
+    function_type = FunctionType(parse_type(return_text), tuple(param_types), vararg)
+    arg_names = [f"a{index}" for index in range(len(param_types))]
+    target = module if module is not None else Module(f"canonical.{name}")
+    function = Function(function_type, name, arg_names)
+    target.add_function(function)
+    if keyword == "declare":
+        return function
+    body = stripped[1:]
+    if not body or body[-1] != "}":
+        raise ParseError("unterminated canonical function body", stripped[0])
+    _FunctionBodyParser(target, function, implicit_globals=True).parse(body[:-1])
+    return function
+
+
 # ---------------------------------------------------------------------------
 # Top-level entities
 # ---------------------------------------------------------------------------
@@ -235,11 +288,20 @@ def _parse_constant_literal(token: str, type_: Type):
 # ---------------------------------------------------------------------------
 
 class _FunctionBodyParser:
-    """Parses the body of one function, resolving forward references at the end."""
+    """Parses the body of one function, resolving forward references at the end.
 
-    def __init__(self, module: Module, function: Function) -> None:
+    With ``implicit_globals`` unknown ``@name`` references are declared on the
+    fly from their use-site type instead of raising — the mode used when
+    reconstructing a single shipped function outside its defining module (see
+    :func:`parse_canonical_function`), where callees and globals are part of
+    the function's meaning but their definitions were never shipped.
+    """
+
+    def __init__(self, module: Module, function: Function,
+                 implicit_globals: bool = False) -> None:
         self.module = module
         self.function = function
+        self.implicit_globals = implicit_globals
         self.symbols: Dict[str, Value] = {arg.name: arg for arg in function.args}
         self.placeholders: List[_Placeholder] = []
 
@@ -305,10 +367,25 @@ class _FunctionBodyParser:
             target = self.module.get_function(name)
             if target is None:
                 target = self.module.get_global(name)
+            if target is None and self.implicit_globals:
+                target = self._declare_implicit(name, type_)
             if target is None:
                 raise ParseError(f"use of undefined global @{name}")
             return target
         return _parse_constant_literal(token, type_)
+
+    def _declare_implicit(self, name: str, type_: Type) -> Value:
+        """Declare an unknown global from the type its use site expects.
+
+        A callee reference carries a pointer-to-function type, any other
+        global a pointer to its value type; either way the declaration only
+        has to be good enough for read-only analyses over the reconstructed
+        function — it is never linked or executed.
+        """
+        if isinstance(type_, PointerType) and isinstance(type_.pointee, FunctionType):
+            return self.module.declare_function(name, type_.pointee)
+        value_type = type_.pointee if isinstance(type_, PointerType) else type_
+        return self.module.add_global(GlobalVariable(value_type, name))
 
     def _typed_value(self, token: str) -> Value:
         """Parse ``<type> <ref>`` into a value."""

@@ -13,6 +13,7 @@ pairing definitions of the same type during phi-node coalescing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Tuple
 
 
@@ -201,9 +202,16 @@ def parse_type(text: str) -> Type:
     """Parse a textual type such as ``i32``, ``double``, ``i8*`` or ``[4 x i32]``.
 
     This is a small helper used by the IR parser; it supports the types the
-    printer emits.
+    printer emits.  Results are memoized per spelling — types are immutable
+    value objects, so sharing one instance across parses is safe, and the
+    parser's hot loop resolves the same handful of spellings millions of
+    times.
     """
-    text = text.strip()
+    return _parse_type_cached(text.strip())
+
+
+@lru_cache(maxsize=4096)
+def _parse_type_cached(text: str) -> Type:
     if text.endswith("*"):
         return PointerType(parse_type(text[:-1]))
     if text == "void":
@@ -229,6 +237,13 @@ def parse_type(text: str) -> Type:
 
 def _split_top_level(text: str) -> list:
     """Split a comma-separated list while respecting nested brackets."""
+    # Fast path: without brackets every comma is a top-level separator, and
+    # the overwhelming majority of operand lists the parser splits are flat.
+    if not any(ch in text for ch in "[{("):
+        parts = [part.strip() for part in text.split(",")]
+        if parts and not parts[-1]:  # the slow path swallows a trailing comma
+            parts.pop()
+        return parts
     parts = []
     depth = 0
     current = []

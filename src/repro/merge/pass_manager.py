@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Union
 
 from ..analysis.manager import ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64
+from ..parallel.stats import ParallelStats
 from ..persist.store import ArtifactStore, StoreStats
 from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
 from ..ir.basic_block import BasicBlock
@@ -53,6 +54,15 @@ class MergePassOptions:
     #: every run cold.  ``run()`` can alternatively be handed a live store,
     #: which takes precedence.
     cache_dir: Optional[str] = None
+    #: Number of worker processes for the read-only phases (index-artifact
+    #: construction and candidate prefetch; see :mod:`repro.parallel`).
+    #: 0 (the default) runs everything in-process with no engine at all;
+    #: codegen and module mutation stay serial and ordered at any setting,
+    #: so reports are bit-identical across values.
+    parallel_workers: int = 0
+    #: Worker-pool backend when ``parallel_workers`` > 0: ``"process"`` (real
+    #: parallelism) or ``"serial"`` (the in-process reference, for debugging).
+    parallel_backend: str = "process"
     #: Skip functions smaller than this many IR instructions.
     min_function_size: int = 3
     #: Allow merged functions to be merged again with further candidates.
@@ -92,6 +102,9 @@ class MergeReport:
     #: Artifact-store hit/miss/load/store counters of this run (None when the
     #: run had no store — the always-cold default).
     persist_stats: Optional[StoreStats] = None
+    #: Worker-pool counters of this run (None when the run had no engine —
+    #: ``parallel_workers=0``, the serial default).
+    parallel_stats: Optional[ParallelStats] = None
     size_before: int = 0
     size_after: int = 0
     instructions_before: int = 0
@@ -126,6 +139,13 @@ class FunctionMergingPass:
             raise ValueError(f"unknown technique {self.options.technique!r}")
         # Fail fast on unknown strategy names (raises ValueError).
         self.search_strategy = resolve_strategy(self.options.search_strategy)
+        self.parallel_config = None
+        if self.options.parallel_workers > 0:
+            from ..parallel.pool import ParallelConfig, resolve_config
+            # Fail fast on unknown backend names too (raises ValueError).
+            self.parallel_config = resolve_config(ParallelConfig(
+                backend=self.options.parallel_backend,
+                workers=self.options.parallel_workers))
 
     # ------------------------------------------------------------ interface
     def run(self, module: Module,
@@ -161,14 +181,42 @@ class FunctionMergingPass:
             f: cost_model.function_size(f, manager)
             for f in module.defined_functions()}
 
+        engine = None
+        precomputed = None
+        if self.parallel_config is not None:
+            from ..parallel.engine import ParallelEngine
+            engine = ParallelEngine(self.parallel_config)
+            precomputed = engine.precompute_index_artifacts(
+                module, self.search_strategy,
+                min_size=options.min_function_size,
+                manager=manager, store=store)
         index = make_index(module, self.search_strategy,
                            min_size=options.min_function_size,
                            analysis_manager=manager,
-                           artifact_store=store)
+                           artifact_store=store,
+                           precomputed=precomputed)
         report.search_stats = index.stats
         report.persist_stats = store.stats if store is not None else None
         consumed: Set[Function] = set()
         worklist = index.functions_by_size()
+
+        # Prefetched answers are used only while provably identical to what a
+        # live query would return (see :func:`prefetch_answer_valid`); the
+        # loop tracks index mutations and falls back to live queries the
+        # moment an answer could differ, so the candidate lists a parallel
+        # run acts on are bit-identical to a serial run's.
+        prefetched: Dict[Function, List] = {}
+        removed_since_prefetch: Set[Function] = set()
+        added_since_prefetch: List[Function] = []
+        if engine is not None:
+            # Population-dependent indexes (size_buckets) lose every cached
+            # answer on the first index mutation, so prefetching for them
+            # would be pure discarded work.
+            if getattr(index, "population_independent_pools", False):
+                prefetched = engine.prefetch_candidates(
+                    index, worklist, options.exploration_threshold)
+            report.parallel_stats = engine.stats
+            engine.close()
 
         def discard(merged: MergedFunction) -> None:
             module.remove_function(merged.function)
@@ -181,10 +229,20 @@ class FunctionMergingPass:
             position += 1
             if function in consumed or function.parent is not module:
                 continue
+            answer = prefetched.get(function)
+            if answer is not None and prefetch_answer_valid(
+                    index, function, answer.candidates,
+                    options.exploration_threshold,
+                    removed_since_prefetch, added_since_prefetch,
+                    used_fallback=answer.used_fallback):
+                candidates = answer.candidates
+                engine.stats.prefetched_used += 1
+            else:
+                candidates = index.candidates_for(
+                    function, options.exploration_threshold, exclude=consumed)
             best: Optional[MergedFunction] = None
             best_decision: Optional[MergeDecision] = None
-            for candidate in index.candidates_for(function, options.exploration_threshold,
-                                                  exclude=consumed):
+            for candidate in candidates:
                 other = candidate.function
                 if other in consumed or other.parent is not module:
                     continue
@@ -207,11 +265,14 @@ class FunctionMergingPass:
                 consumed.add(best.second)
                 index.remove(best.first)
                 index.remove(best.second)
+                removed_since_prefetch.add(best.first)
+                removed_since_prefetch.add(best.second)
                 original_sizes[best.function] = cost_model.function_size(
                     best.function, manager)
                 if options.allow_remerge:
                     index.update(best.function)
                     worklist.append(best.function)
+                    added_since_prefetch.append(best.function)
                 report.profitable_merges += 1
             elif best is not None:
                 discard(best)
@@ -296,6 +357,79 @@ class FunctionMergingPass:
             demote_function(function, manager)
             promote_allocas(function, manager)
             simplify_function(function, manager=manager)
+
+
+def prefetch_answer_valid(index, function: Function, answer: List,
+                          threshold: int,
+                          removed: Set[Function],
+                          added: List[Function],
+                          used_fallback: bool = False) -> bool:
+    """Whether a prefetched candidate list still equals a live query's answer.
+
+    Prefetched answers (see :meth:`repro.parallel.ParallelEngine.
+    prefetch_candidates`) were computed against the index population *before*
+    the merge loop started mutating it.  The incremental reasoning below is
+    only sound for indexes whose probe-pool membership is pairwise
+    (``population_independent_pools`` — exhaustive scans, band-collision
+    lookups); for anything else (``size_buckets``: radius expansion and the
+    ``bucket_band_min`` flip make pools depend on the whole population) any
+    index mutation invalidates every answer outright.  A qualifying answer
+    is provably still exact when:
+
+    * none of its candidates has since been removed (the loop's exclusion set
+      and the index removals track each other, so a removed candidate would
+      have been *replaced* in a live answer, not just skipped);
+    * it did not come through the index's full-scan fallback, or no function
+      has been indexed since: a fallback answer covers candidates the probe
+      pool never saw, and a newcomer landing in the pool can *disarm* the
+      fallback — the live query then answers from the pool alone, whatever
+      the newcomer's own rank;
+    * every function indexed since then ranks strictly after the answer's
+      last candidate under the exhaustive ``(distance, -size, name)`` key.
+      For a pool-only answer this is exact: the answer's own members still
+      collide with the unmutated query, so the live pool stays at least
+      ``threshold`` strong (no fallback), and a newcomer that cannot
+      displace the k-th candidate cannot change the top-k.  A short answer
+      (fewer than ``threshold`` candidates) has no k-th candidate to hide
+      behind, so any index mutation at all invalidates it — even a removal
+      outside it can shrink a probe pool below the threshold and arm the
+      fallback.
+
+    For a full answer, removals of functions outside it never invalidate:
+    dropping a non-member from a pool cannot promote anyone into the top-k
+    above a candidate that already beat them (and a fallback that fired at
+    prefetch time keeps firing when the pool only shrinks).  The check is
+    conservative — every ``True`` is bit-exact, a needless ``False`` merely
+    re-queries.
+    """
+    if (removed or added) and not getattr(index, "population_independent_pools",
+                                          False):
+        return False
+    if len(answer) < threshold and (removed or added):
+        return False
+    for candidate in answer:
+        if candidate.function in removed:
+            return False
+    if added and used_fallback:
+        return False
+    if added:
+        query_fingerprint = index.fingerprints.get(function)
+        if query_fingerprint is None:
+            return False
+        last = answer[-1]
+        last_fingerprint = index.fingerprints.get(last.function)
+        if last_fingerprint is None:
+            return False
+        last_key = (last.distance, -last_fingerprint.size, last.function.name)
+        for newcomer in added:
+            fingerprint = index.fingerprints.get(newcomer)
+            if fingerprint is None:  # re-merged away again: cannot be returned
+                continue
+            key = (query_fingerprint.distance(fingerprint), -fingerprint.size,
+                   newcomer.name)
+            if key < last_key:
+                return False
+    return True
 
 
 def replace_with_thunk(merged: MergedFunction, which: int, original: Function) -> None:

@@ -1,0 +1,66 @@
+"""Worker-pool execution engine for the read-only merge-pipeline phases.
+
+The merge pipeline's hot path — candidate-index construction, batched
+``candidates_for`` queries and alignment/profitability scoring of candidate
+pairs — is read-only and embarrassingly parallel, while codegen and module
+mutation must stay serial and ordered.  This subsystem splits exactly along
+that line:
+
+* :class:`WorkerPool` — ``serial`` and ``process`` backends behind a
+  registry (:func:`register_backend` / :func:`make_pool`), running named
+  :mod:`~repro.parallel.tasks` over ordered batches.
+* :class:`ParallelEngine` — the parent-side orchestration: ships functions
+  as their canonical, digest-stable serialization, primes analysis managers
+  and artifact stores with worker results (workers open the shared store
+  read-only; the parent is the only writer), and merges per-worker stats
+  into the run's existing counters.
+* :class:`ParallelStats` — what crossed the process boundary and what it
+  saved.
+
+Thread ``parallel_workers=N`` through
+:func:`repro.harness.pipeline.run_pipeline` (or
+:class:`repro.merge.pass_manager.MergePassOptions`) to turn it on; merge
+reports are bit-identical across backends.  See ``docs/parallel.md`` for the
+backend matrix and the determinism contract.
+"""
+
+from .engine import ParallelEngine, PrefetchedAnswer
+from .pool import (
+    ParallelConfig,
+    ProcessPool,
+    SerialPool,
+    WorkerPool,
+    available_backends,
+    make_batches,
+    make_pool,
+    register_backend,
+    resolve_config,
+)
+from .stats import ParallelStats
+from .tasks import (
+    PairScore,
+    get_task,
+    register_task,
+    score_alignment_pair,
+    ship_function,
+)
+
+__all__ = [
+    "PairScore",
+    "ParallelConfig",
+    "ParallelEngine",
+    "ParallelStats",
+    "PrefetchedAnswer",
+    "ProcessPool",
+    "SerialPool",
+    "WorkerPool",
+    "available_backends",
+    "get_task",
+    "make_batches",
+    "make_pool",
+    "register_backend",
+    "register_task",
+    "resolve_config",
+    "score_alignment_pair",
+    "ship_function",
+]

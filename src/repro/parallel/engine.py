@@ -1,0 +1,374 @@
+"""The parent-side orchestration of the worker pool.
+
+:class:`ParallelEngine` wraps a :class:`~repro.parallel.pool.WorkerPool` and
+exposes the three read-only hot phases of the merge pipeline as batch
+operations:
+
+* :meth:`precompute_index_artifacts` — fingerprints + MinHash signatures,
+  computed in digest-sharded batches and handed back as a ``precomputed``
+  map for :func:`repro.search.make_index` (plus primed into the shared
+  analysis manager and published to the artifact store — the parent is the
+  store's only writer; workers read it read-only).
+* :meth:`prefetch_candidates` — batched ``candidates_for`` queries answered
+  ahead of the serial merge loop.
+* :meth:`score_pairs` — alignment + cost-model profitability scoring of
+  candidate pairs.
+
+Determinism contract: every phase returns exactly what the equivalent serial
+computation would produce — worker results are keyed by content digest and
+function name, ranking keys are value-based, and all hashing is seeded — so a
+``process``-backed run and a ``serial`` run are bit-identical apart from
+wall-clock and stats fields that never enter a report digest.  A serial
+(``inline``) pool short-circuits the ship/reconstruct round trip entirely and
+is the exact baseline the process backend is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.fingerprint import RankedCandidate
+from ..analysis.manager import FINGERPRINT, AnalysisStats
+from ..analysis.size_model import TARGETS
+from ..persist.cache import PersistentAnalysisCache, _decode_fingerprint
+from ..persist.store import ArtifactStore, StoreStats
+from ..search.adaptive import choose_adaptive_strategy
+from ..search.index import CandidateIndex, signature_config_key
+from ..search.stats import SearchStats
+from ..search.strategy import SearchStrategy, resolve_strategy
+from .pool import ParallelConfig, WorkerPool, make_batches, make_pool
+from .stats import ParallelStats
+from .tasks import (
+    CANDIDATES_TASK,
+    INDEX_ARTIFACTS_TASK,
+    SCORE_PAIRS_TASK,
+    PairScore,
+    score_alignment_pair,
+    ship_function,
+)
+
+
+@dataclass
+class PrefetchedAnswer:
+    """One query's prefetched result plus how the index derived it.
+
+    ``used_fallback`` records whether the answer came through the index's
+    full-scan fallback — such an answer depends on the fallback staying
+    armed, which the merge loop's validity check must account for once the
+    index starts mutating.
+    """
+
+    candidates: List[RankedCandidate]
+    used_fallback: bool = False
+
+
+class ParallelEngine:
+    """Drives the read-only pipeline phases through a worker pool."""
+
+    def __init__(self, config: Union[str, ParallelConfig, None] = None,
+                 pool: Optional[WorkerPool] = None,
+                 stats: Optional[ParallelStats] = None) -> None:
+        self.pool = pool if pool is not None else make_pool(config)
+        self.stats = stats or ParallelStats(backend=self.pool.name,
+                                            workers=self.pool.workers)
+        # Functions whose canonical text was memoized for shipping; the memo
+        # is released on close() so a run never pins whole-module IR text
+        # beyond the engine's lifetime.
+        self._shipped: set = set()
+
+    def _ship(self, function) -> Tuple[str, str, str]:
+        self._shipped.add(function)
+        return ship_function(function)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self.pool.close()
+        for function in self._shipped:
+            function.release_canonical_text()
+        self._shipped.clear()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _run(self, task: str, shared, batches) -> list:
+        self.stats.batches += len(batches)
+        started = time.perf_counter()
+        results = self.pool.run(task, shared, batches)
+        self.stats.worker_seconds += time.perf_counter() - started
+        return results
+
+    @staticmethod
+    def effective_strategy(module, strategy, min_size: int) -> SearchStrategy:
+        """The concrete strategy a run will use (``adaptive`` resolved)."""
+        resolved = resolve_strategy(strategy)
+        if resolved.name == "adaptive":
+            resolved = resolved.with_options(
+                name=choose_adaptive_strategy(module, min_size, resolved))
+        return resolved
+
+    # ---------------------------------------------------- phase A: artifacts
+    def precompute_index_artifacts(self, module, strategy,
+                                   min_size: int = 2,
+                                   manager=None,
+                                   store: Optional[ArtifactStore] = None
+                                   ) -> Dict[object, dict]:
+        """Index artifacts for ``module``, computed in digest-sharded batches.
+
+        Returns the ``precomputed`` map :func:`repro.search.make_index`
+        consumes.  On the way, worker-computed fingerprints are primed into
+        ``manager`` and freshly computed artifacts are published to ``store``
+        (worker loads of already-stored artifacts are counted but never
+        rewritten).  An inline (serial) pool returns an empty map: the index
+        then derives everything itself, which *is* the serial baseline.
+        """
+        effective = self.effective_strategy(module, strategy, min_size)
+        if self.pool.inline:
+            return {}
+        functions = [function for function in module.defined_functions()
+                     if function.num_instructions() >= min_size]
+        if not functions:
+            return {}
+        want_signatures = effective.name == "minhash_lsh"
+
+        started = time.perf_counter()
+        by_digest: Dict[str, list] = {}
+        texts: Dict[str, str] = {}
+        for function in functions:
+            name, digest, text = self._ship(function)
+            by_digest.setdefault(digest, []).append(function)
+            texts[digest] = text
+        # Digest sharding: batches are formed over the sorted unique digests,
+        # so the work split is deterministic in content alone (clones share a
+        # digest and are derived exactly once, whatever the module order).
+        digests = sorted(by_digest)
+        self.stats.ship_seconds += time.perf_counter() - started
+        self.stats.functions_shipped += len(digests)
+
+        shared = {
+            "strategy": asdict(effective),
+            "store_root": str(store.root) if store is not None else None,
+            "want_signatures": want_signatures,
+        }
+        batches = make_batches([(digest, texts[digest]) for digest in digests],
+                               self.pool.workers, self.config_batches())
+        results = self._run(INDEX_ARTIFACTS_TASK, shared, batches)
+
+        precomputed: Dict[object, dict] = {}
+        config_key = signature_config_key(effective) if want_signatures else None
+        persistent = PersistentAnalysisCache(store) if store is not None else None
+        worker_store = StoreStats()
+        fingerprints_loaded = fingerprints_computed = 0
+        for result in results:
+            for digest, payload in result["artifacts"].items():
+                fingerprint = _decode_fingerprint(payload["fingerprint"])
+                signature = payload["signature"]
+                artifact: dict = {"fingerprint": fingerprint}
+                if signature is not None:
+                    artifact["signature"] = tuple(signature)
+                if payload["fingerprint_loaded"]:
+                    fingerprints_loaded += 1
+                    worker_store.hits += 1
+                else:
+                    fingerprints_computed += 1
+                    if store is not None:
+                        worker_store.misses += 1
+                if signature is not None:
+                    if payload["signature_loaded"]:
+                        self.stats.signatures_loaded += 1
+                        worker_store.hits += 1
+                    else:
+                        self.stats.signatures_computed += 1
+                        if store is not None:
+                            worker_store.misses += 1
+                owners = by_digest[digest]
+                for function in owners:
+                    precomputed[function] = artifact
+                    if manager is not None:
+                        manager.prime(FINGERPRINT, function, fingerprint)
+                # Publish what workers had to compute; the parent is the
+                # store's only writer.
+                if store is not None:
+                    anchor = owners[0]
+                    if not payload["fingerprint_loaded"] and persistent is not None:
+                        persistent.save("fingerprint", anchor, fingerprint)
+                    if signature is not None and not payload["signature_loaded"]:
+                        store.store("minhash_signature",
+                                    f"{digest}.{config_key}", list(signature))
+        self.stats.fingerprints_loaded += fingerprints_loaded
+        self.stats.fingerprints_computed += fingerprints_computed
+        if store is not None:
+            # Fold the workers' read-only store traffic into the parent's
+            # counters, so persist stats reflect the whole run.
+            store.stats.merge(worker_store)
+        if manager is not None:
+            manager.stats.merge(AnalysisStats(
+                hits=fingerprints_loaded,
+                misses=fingerprints_computed,
+                computed_by_analysis={"fingerprint": fingerprints_computed}
+                if fingerprints_computed else {}))
+        return precomputed
+
+    def config_batches(self) -> int:
+        return getattr(self.pool.config, "batches_per_worker", 4)
+
+    # ------------------------------------------------------ phase B: queries
+    def prefetch_candidates(self, index: CandidateIndex,
+                            queries: Sequence,
+                            threshold: int) -> Dict[object, PrefetchedAnswer]:
+        """Answer ``candidates_for`` for every query ahead of the serial loop.
+
+        Answers are exactly what ``index.candidates_for(function, threshold)``
+        would return *right now* (no exclusions, current population); once
+        the merge loop starts mutating the index, each answer is only used
+        while provably still exact (see ``prefetch_answer_valid``), for
+        which the answer records whether it came through the full-scan
+        fallback.  Worker-side query stats are merged into ``index.stats``.
+        """
+        queries = [function for function in queries
+                   if function in index.fingerprints]
+        if not queries:
+            return {}
+        self.stats.queries_prefetched += len(queries)
+        if self.pool.inline:
+            answers = {}
+            for function in queries:
+                candidates = index.candidates_for(function, threshold)
+                answers[function] = PrefetchedAnswer(
+                    candidates, index.last_query_used_fallback)
+            return answers
+
+        started = time.perf_counter()
+        population = []
+        for function, fingerprint in index.fingerprints.items():
+            artifact = index.export_artifacts(function)
+            signature = artifact.get("signature")
+            population.append((function.name, function.content_digest(),
+                               list(fingerprint.counts), fingerprint.size,
+                               list(signature) if signature is not None else None))
+        by_name = {function.name: function for function in index.fingerprints}
+        self.stats.ship_seconds += time.perf_counter() - started
+        # Not counted as functions_shipped: queries ship fingerprint and
+        # signature tuples, never canonical texts.
+
+        shared = {
+            "strategy": asdict(index.strategy),
+            "min_size": index.min_size,
+            "threshold": threshold,
+            "population": population,
+        }
+        batches = make_batches([function.name for function in queries],
+                               self.pool.workers, self.config_batches())
+        results = self._run(CANDIDATES_TASK, shared, batches)
+
+        answers: Dict[object, PrefetchedAnswer] = {}
+        for result in results:
+            for name, (ranked, used_fallback) in result["answers"].items():
+                answers[by_name[name]] = PrefetchedAnswer(
+                    [RankedCandidate(by_name[candidate], distance, similarity)
+                     for candidate, distance, similarity in ranked],
+                    used_fallback)
+            index.stats.merge(SearchStats(**result["stats"]))
+        return answers
+
+    # ------------------------------------------------------ phase C: scoring
+    def score_pairs(self, pairs: Sequence[Tuple[object, object]], size_model,
+                    thunk_overhead: int = 12, minimum_benefit: int = 1,
+                    include_phis: bool = False) -> List[PairScore]:
+        """Alignment + profitability scores for candidate pairs, in order."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        self.stats.pairs_scored += len(pairs)
+        # Workers resolve size models by registered target name; a custom
+        # model has no cross-process identity, so score it inline.
+        if self.pool.inline or TARGETS.get(size_model.name) is not size_model:
+            return [score_alignment_pair(first, second, size_model,
+                                         thunk_overhead=thunk_overhead,
+                                         minimum_benefit=minimum_benefit,
+                                         include_phis=include_phis)
+                    for first, second in pairs]
+
+        started = time.perf_counter()
+        texts: Dict[str, str] = {}
+        for first, second in pairs:
+            for function in (first, second):
+                if function.name not in texts:
+                    _, _, text = self._ship(function)
+                    texts[function.name] = text
+        # Cluster-local sharding: pairs sharing functions (clone families)
+        # land in the same worker's single batch, so each family's texts are
+        # reconstructed by exactly one worker instead of lazily re-parsed by
+        # all of them.  One batch per worker — a finer split would let the
+        # pool's dynamic scheduling scatter a cluster across workers again.
+        bins = _pack_pair_clusters(pairs, self.pool.workers)
+        self.stats.ship_seconds += time.perf_counter() - started
+        self.stats.functions_shipped += len(texts)
+
+        shared = {
+            "functions": texts,
+            "target": size_model.name,
+            "thunk_overhead": thunk_overhead,
+            "minimum_benefit": minimum_benefit,
+            "include_phis": include_phis,
+        }
+        batches = [[(pairs[position][0].name, pairs[position][1].name)
+                    for position in positions] for positions in bins]
+        results = self._run(SCORE_PAIRS_TASK, shared, batches)
+        # Restore the caller's pair order.
+        restored: List[Optional[PairScore]] = [None] * len(pairs)
+        for positions, batch_scores in zip(bins, results):
+            for position, score in zip(positions, batch_scores):
+                restored[position] = score
+        return restored
+
+
+def _pack_pair_clusters(pairs: Sequence[Tuple[object, object]],
+                        workers: int) -> List[List[int]]:
+    """Partition pair indices into at most ``workers`` cost-balanced bins,
+    never splitting a connected component across bins.
+
+    Union-find over the functions the pairs mention groups pairs into
+    components (typically clone families); components are then packed
+    largest-first onto the least-loaded bin, weighted by the alignment DP
+    cost (the product of the two body lengths — alignment is quadratic).
+    Deterministic: components are formed and tie-broken in first-mention
+    order.
+    """
+    parent: Dict[object, object] = {}
+
+    def find(node):
+        root = node
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[node] is not root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    for first, second in pairs:
+        parent.setdefault(first, first)
+        parent.setdefault(second, second)
+        parent[find(first)] = find(second)
+
+    components: Dict[object, List[int]] = {}
+    weights: Dict[object, int] = {}
+    for position, (first, second) in enumerate(pairs):
+        root = find(first)
+        components.setdefault(root, []).append(position)
+        weights[root] = weights.get(root, 0) + \
+            (first.num_instructions() + 1) * (second.num_instructions() + 1)
+
+    bins: List[List[int]] = [[] for _ in range(max(1, workers))]
+    loads = [0] * len(bins)
+    # Stable largest-first packing: sort() is stable, so equal-weight
+    # components keep their first-mention order.
+    for root in sorted(components, key=lambda r: -weights[r]):
+        target = loads.index(min(loads))
+        bins[target].extend(components[root])
+        loads[target] += weights[root]
+    return [sorted(positions) for positions in bins if positions]

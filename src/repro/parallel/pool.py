@@ -1,0 +1,196 @@
+"""Worker pools: where "run this task over these batches" lives.
+
+A :class:`WorkerPool` executes registered *tasks* (see
+:mod:`repro.parallel.tasks`) over batches of work items.  Tasks are addressed
+by name — never by pickled callables — so every backend, in-process or not,
+resolves the same registered implementation.  Two backends ship, selected
+through a registry exactly like ``repro.search`` strategies:
+
+* ``serial`` — the in-process reference: tasks run inline, in order, with no
+  serialization.  Engines treat a serial pool as "stay on the live IR", so a
+  serial-backed run is the exact baseline a process-backed run is compared
+  against.
+* ``process`` — a ``multiprocessing`` pool: the task's shared payload is
+  delivered to each worker once (via the pool initializer), batches are
+  mapped in order, and results come back as picklable plain data.
+
+Third-party backends (threads under free-threaded builds, remote executors)
+can be plugged in with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Factory signature every registered backend must satisfy.
+PoolFactory = Callable[["ParallelConfig"], "WorkerPool"]
+
+_REGISTRY: Dict[str, PoolFactory] = {}
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of one worker-pool engine."""
+
+    #: Registered backend name: ``serial`` or ``process``.
+    backend: str = "serial"
+    #: Worker processes; 0 picks the host's CPU count.
+    workers: int = 0
+    #: Target batches per worker: more batches smooth load imbalance between
+    #: cheap and expensive items, fewer amortise per-batch dispatch overhead.
+    batches_per_worker: int = 4
+    #: ``multiprocessing`` start method; None picks ``fork`` where available
+    #: (cheapest, and tasks are pure so inherited state is harmless) and the
+    #: platform default elsewhere.
+    start_method: Optional[str] = None
+
+    def resolved_workers(self) -> int:
+        if self.workers > 0:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
+
+    def with_options(self, **kwargs) -> "ParallelConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def register_backend(name: str, factory: PoolFactory) -> None:
+    """Register (or override) a backend name -> pool factory binding."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_config(config: Union[str, ParallelConfig, None]) -> ParallelConfig:
+    """Normalise a name / config / None into a validated :class:`ParallelConfig`."""
+    if config is None:
+        config = ParallelConfig()
+    elif isinstance(config, str):
+        config = ParallelConfig(backend=config)
+    if config.backend not in _REGISTRY:
+        raise ValueError(
+            f"unknown parallel backend {config.backend!r}; "
+            f"available: {', '.join(available_backends())}")
+    return config
+
+
+def make_pool(config: Union[str, ParallelConfig, None] = None) -> "WorkerPool":
+    """Build a :class:`WorkerPool` for ``config`` (name, config or None)."""
+    resolved = resolve_config(config)
+    return _REGISTRY[resolved.backend](resolved)
+
+
+def make_batches(items: Sequence[Any], workers: int,
+                 batches_per_worker: int = 4) -> List[List[Any]]:
+    """Split ``items`` into contiguous batches sized for ``workers``.
+
+    Deterministic in the input order; aims for ``workers * batches_per_worker``
+    batches so stragglers can be balanced without drowning in dispatch
+    overhead.  Returns no empty batches (and nothing for no items).
+    """
+    items = list(items)
+    if not items:
+        return []
+    target = max(1, workers) * max(1, batches_per_worker)
+    size = max(1, -(-len(items) // target))
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+class WorkerPool(ABC):
+    """Executes named tasks over batches; see :mod:`repro.parallel.tasks`."""
+
+    #: Registered backend name of this pool.
+    name = "abstract"
+    #: True when tasks run in this process on live objects — engines then
+    #: skip serialization entirely and this pool is the exact serial baseline.
+    inline = False
+
+    def __init__(self, config: ParallelConfig) -> None:
+        self.config = config
+        self.workers = config.resolved_workers()
+
+    @abstractmethod
+    def run(self, task_name: str, shared: Any, batches: Sequence[Any]) -> List[Any]:
+        """Run task ``task_name`` over ``batches``, returning per-batch results
+        in batch order.  ``shared`` is delivered to each worker exactly once."""
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialPool(WorkerPool):
+    """In-process execution, in order — the reference backend."""
+
+    name = "serial"
+    inline = True
+
+    def run(self, task_name: str, shared: Any, batches: Sequence[Any]) -> List[Any]:
+        from .tasks import get_task
+
+        task = get_task(task_name)
+        context = task.prepare(shared)
+        return [task.run(context, batch) for batch in batches]
+
+
+# Per-worker-process task state, installed by the pool initializer so the
+# shared payload is deserialized once per worker rather than once per batch.
+_WORKER_STATE: Dict[str, Any] = {}
+
+
+def _worker_initializer(task_name: str, shared: Any) -> None:
+    from .tasks import get_task
+
+    task = get_task(task_name)
+    _WORKER_STATE["run"] = task.run
+    _WORKER_STATE["context"] = task.prepare(shared)
+
+
+def _worker_run(batch: Any) -> Any:
+    return _WORKER_STATE["run"](_WORKER_STATE["context"], batch)
+
+
+class ProcessPool(WorkerPool):
+    """A ``multiprocessing`` pool of worker processes.
+
+    One OS pool is created per :meth:`run` call: the initializer hands every
+    worker the task's shared payload, batches are mapped in order (results
+    are position-stable regardless of which worker finishes first), and the
+    pool is torn down before returning, so no state leaks between tasks.
+    """
+
+    name = "process"
+
+    def _context(self):
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+                else None
+        return multiprocessing.get_context(method)
+
+    def run(self, task_name: str, shared: Any, batches: Sequence[Any]) -> List[Any]:
+        batches = list(batches)
+        if not batches:
+            return []
+        processes = max(1, min(self.workers, len(batches)))
+        context = self._context()
+        with context.Pool(processes=processes,
+                          initializer=_worker_initializer,
+                          initargs=(task_name, shared)) as pool:
+            return pool.map(_worker_run, batches, chunksize=1)
+
+
+register_backend(SerialPool.name, SerialPool)
+register_backend(ProcessPool.name, ProcessPool)

@@ -1,0 +1,96 @@
+"""Counters of one parallel execution engine (or a merged set of them).
+
+Every :class:`~repro.parallel.engine.ParallelEngine` owns a
+:class:`ParallelStats` and records what crossed the process boundary: how many
+functions were shipped (serialized to canonical text), how many artifacts the
+workers computed versus loaded from the shared read-only store, how many
+queries were answered ahead of time and how many of those the serial merge
+loop actually consumed before index mutations invalidated the rest.
+
+Wall-clock fields are recorded for reporting but — like every other stats
+object in the harness — are never part of a merge-report digest, so parallel
+and serial runs stay bit-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class ParallelStats:
+    """Aggregate counters of one worker-pool engine."""
+
+    backend: str = ""
+    workers: int = 0
+    #: Worker-pool task batches dispatched (a serial backend dispatches too —
+    #: inline — so the counter is comparable across backends).
+    batches: int = 0
+    #: Unique canonical texts serialized and shipped to workers, summed over
+    #: phases (clones dedup by digest; the candidate-prefetch phase ships
+    #: only fingerprint/signature tuples and counts nothing here).  The
+    #: serial backend ships nothing — it reads live IR.
+    functions_shipped: int = 0
+    #: Index artifacts (fingerprints / MinHash signatures) computed by
+    #: workers versus loaded from the shared read-only artifact store.
+    fingerprints_computed: int = 0
+    fingerprints_loaded: int = 0
+    signatures_computed: int = 0
+    signatures_loaded: int = 0
+    #: ``candidates_for`` queries answered ahead of the merge loop, and how
+    #: many of those answers the loop consumed before an index mutation
+    #: invalidated the remainder.
+    queries_prefetched: int = 0
+    prefetched_used: int = 0
+    #: Candidate pairs scored (alignment + profitability) by workers.
+    pairs_scored: int = 0
+    #: Wall-clock spent serializing/reconstructing and inside worker tasks.
+    ship_seconds: float = 0.0
+    worker_seconds: float = 0.0
+
+    def merge(self, other: "ParallelStats") -> "ParallelStats":
+        """Fold ``other``'s counters into this one (in place) and return self."""
+        if not self.backend:
+            self.backend = other.backend
+        elif other.backend and other.backend != self.backend:
+            self.backend = "mixed"
+        self.workers = max(self.workers, other.workers)
+        self.batches += other.batches
+        self.functions_shipped += other.functions_shipped
+        self.fingerprints_computed += other.fingerprints_computed
+        self.fingerprints_loaded += other.fingerprints_loaded
+        self.signatures_computed += other.signatures_computed
+        self.signatures_loaded += other.signatures_loaded
+        self.queries_prefetched += other.queries_prefetched
+        self.prefetched_used += other.prefetched_used
+        self.pairs_scored += other.pairs_scored
+        self.ship_seconds += other.ship_seconds
+        self.worker_seconds += other.worker_seconds
+        return self
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of prefetched answers the merge loop actually used."""
+        if self.queries_prefetched == 0:
+            return 0.0
+        return self.prefetched_used / self.queries_prefetched
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A flat summary suitable for reporting / ``extra_info`` dumps."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "batches": self.batches,
+            "functions_shipped": self.functions_shipped,
+            "fingerprints_computed": self.fingerprints_computed,
+            "fingerprints_loaded": self.fingerprints_loaded,
+            "signatures_computed": self.signatures_computed,
+            "signatures_loaded": self.signatures_loaded,
+            "queries_prefetched": self.queries_prefetched,
+            "prefetched_used": self.prefetched_used,
+            "prefetch_hit_rate": self.prefetch_hit_rate,
+            "pairs_scored": self.pairs_scored,
+            "ship_seconds": self.ship_seconds,
+            "worker_seconds": self.worker_seconds,
+        }

@@ -1,0 +1,340 @@
+"""Worker-side task implementations.
+
+A *task* is a named pair of pure functions — ``prepare(shared) -> context``
+run once per worker, and ``run(context, batch) -> result`` run per batch —
+operating exclusively on plain, picklable data.  Function IR crosses the
+process boundary as its canonical, name-independent serialization
+(:func:`repro.ir.printer.canonical_function_text`, addressed by
+:meth:`repro.ir.function.Function.content_digest`), and workers reconstruct
+read-only IR with :func:`repro.ir.parser.parse_canonical_function` — the
+round trip is digest-stable, so whatever a worker derives is bit-identical to
+what the parent would have derived itself.
+
+Three tasks ship, one per read-only hot phase of the merge pipeline:
+
+* ``index_artifacts`` — fingerprints + MinHash signatures for digest-sharded
+  function batches.  Persist-aware: each worker opens the shared
+  :class:`~repro.persist.ArtifactStore` **read-only** and only computes what
+  the store has never seen; the parent is the sole writer.
+* ``candidates`` — batched ``candidates_for`` queries: each worker rebuilds
+  the candidate index from shipped fingerprints/signatures (no parsing at
+  all — queries touch no function body) and answers its query shard with the
+  exact ranking the parent index would produce.
+* ``score_pairs`` — alignment + cost-model profitability scoring of candidate
+  pairs: workers reconstruct the two functions, align their linearised
+  sequences and estimate the merge benefit.  An upper-bound *scoring* of the
+  pair (matched instructions can at best be deduplicated); the committed
+  decision still requires serial codegen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from ..analysis.fingerprint import Fingerprint
+from ..analysis.size_model import get_target
+from ..ir.function import Function
+from ..ir.parser import parse_canonical_function
+from ..merge.alignment import align
+from ..merge.linearize import linearize
+from ..persist.cache import ANALYSIS_KIND_PREFIX, _decode_fingerprint, \
+    _encode_fingerprint
+from ..persist.store import ArtifactStore
+from ..search.index import _signature_hash_family, compute_minhash_signature, \
+    signature_config_key, valid_signature_payload
+from ..search.stats import SearchStats
+from ..search.strategy import SearchStrategy, make_index
+
+
+class Task(NamedTuple):
+    """One registered worker task."""
+
+    prepare: Callable[[Any], Any]
+    run: Callable[[Any, Any], Any]
+
+
+_TASKS: Dict[str, Task] = {}
+
+
+def register_task(name: str, prepare: Callable[[Any], Any],
+                  run: Callable[[Any, Any], Any]) -> None:
+    """Register (or override) a task name -> implementation binding."""
+    _TASKS[name] = Task(prepare, run)
+
+
+def get_task(name: str) -> Task:
+    """Look up a registered task (workers resolve tasks by name only)."""
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise KeyError(f"unknown parallel task {name!r}; registered: "
+                       f"{', '.join(sorted(_TASKS))}") from None
+
+
+def ship_function(function: Function) -> Tuple[str, str, str]:
+    """``(name, digest, canonical text)`` of one function, ready to ship.
+
+    Both fields are memoized per mutation epoch on the function itself, so
+    shipping the same unchanged function to several phases serializes once.
+    The text is rendered first so the digest reuses the memo instead of
+    rendering a second, transient copy.
+    """
+    text = function.canonical_text()
+    return (function.name, function.content_digest(), text)
+
+
+# ---------------------------------------------------------------------------
+# index_artifacts — fingerprints + MinHash signatures per digest batch
+# ---------------------------------------------------------------------------
+
+INDEX_ARTIFACTS_TASK = "index_artifacts"
+
+
+def _artifacts_prepare(shared: dict) -> dict:
+    strategy = SearchStrategy(**shared["strategy"])
+    store_root = shared.get("store_root")
+    return {
+        "strategy": strategy,
+        "store": ArtifactStore(store_root, read_only=True)
+        if store_root is not None else None,
+        "want_signatures": bool(shared.get("want_signatures")),
+        "hash_params": _signature_hash_family(strategy),
+        "config_key": signature_config_key(strategy),
+    }
+
+
+def _artifacts_run(context: dict, batch: List[Tuple[str, str]]) -> dict:
+    strategy = context["strategy"]
+    store: Optional[ArtifactStore] = context["store"]
+    want_signatures = context["want_signatures"]
+    hash_params = context["hash_params"]
+    config_key = context["config_key"]
+    artifacts: Dict[str, dict] = {}
+    for digest, text in batch:
+        function: Optional[Function] = None
+        fingerprint: Optional[Fingerprint] = None
+        fingerprint_loaded = False
+        if store is not None:
+            payload = store.load(f"{ANALYSIS_KIND_PREFIX}fingerprint", digest)
+            if payload is not None:
+                try:
+                    fingerprint = _decode_fingerprint(payload)
+                    fingerprint_loaded = True
+                except (KeyError, TypeError, ValueError):
+                    store.note_invalid_payload()
+        if fingerprint is None:
+            function = parse_canonical_function(text, name=digest)
+            fingerprint = Fingerprint.of(function)
+        signature: Optional[List[int]] = None
+        signature_loaded = False
+        if want_signatures:
+            if store is not None:
+                payload = store.load("minhash_signature",
+                                     f"{digest}.{config_key}")
+                if payload is not None:
+                    if valid_signature_payload(payload, len(hash_params)):
+                        signature = list(payload)
+                        signature_loaded = True
+                    else:
+                        store.note_invalid_payload()
+            if signature is None:
+                if function is None:
+                    function = parse_canonical_function(text, name=digest)
+                signature = list(compute_minhash_signature(
+                    function, fingerprint, strategy, hash_params))
+        artifacts[digest] = {
+            "fingerprint": _encode_fingerprint(fingerprint),
+            "fingerprint_loaded": fingerprint_loaded,
+            "signature": signature,
+            "signature_loaded": signature_loaded,
+        }
+    return {"artifacts": artifacts}
+
+
+register_task(INDEX_ARTIFACTS_TASK, _artifacts_prepare, _artifacts_run)
+
+
+# ---------------------------------------------------------------------------
+# candidates — batched candidates_for queries over a shipped population
+# ---------------------------------------------------------------------------
+
+CANDIDATES_TASK = "candidates"
+
+
+class _ShippedFunction:
+    """A parse-free stand-in for one indexed function.
+
+    Candidate indexes only touch a function's name, instruction count,
+    content digest and precomputed artifacts — never its body — so the query
+    task indexes these shims instead of reconstructed IR.
+    """
+
+    __slots__ = ("name", "digest", "size")
+
+    def __init__(self, name: str, digest: str, size: int) -> None:
+        self.name = name
+        self.digest = digest
+        self.size = size
+
+    def num_instructions(self) -> int:
+        return self.size
+
+    def content_digest(self) -> str:
+        return self.digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<ShippedFunction @{self.name}>"
+
+
+class _ShippedPopulation:
+    """The module-shaped container a worker-side index is built over."""
+
+    def __init__(self, functions: List[_ShippedFunction]) -> None:
+        self._functions = functions
+
+    def defined_functions(self) -> List[_ShippedFunction]:
+        return list(self._functions)
+
+
+def _candidates_prepare(shared: dict) -> dict:
+    strategy = SearchStrategy(**shared["strategy"])
+    shims: List[_ShippedFunction] = []
+    precomputed: Dict[_ShippedFunction, dict] = {}
+    for name, digest, counts, size, signature in shared["population"]:
+        fingerprint = Fingerprint(tuple(counts), size)
+        shim = _ShippedFunction(name, digest, size)
+        shims.append(shim)
+        artifact = {"fingerprint": fingerprint}
+        if signature is not None:
+            artifact["signature"] = tuple(signature)
+        precomputed[shim] = artifact
+    index = make_index(_ShippedPopulation(shims), strategy,
+                       min_size=shared["min_size"], precomputed=precomputed)
+    return {
+        "index": index,
+        "by_name": {shim.name: shim for shim in shims},
+        "threshold": shared["threshold"],
+    }
+
+
+def _candidates_run(context: dict, batch: List[str]) -> dict:
+    index = context["index"]
+    by_name = context["by_name"]
+    threshold = context["threshold"]
+    stats: SearchStats = index.stats
+    before = (stats.queries, stats.candidates_scanned,
+              stats.candidates_returned, stats.population_available)
+    answers: Dict[str, Tuple[List[Tuple[str, int, float]], bool]] = {}
+    for name in batch:
+        ranked = index.candidates_for(by_name[name], threshold)
+        answers[name] = ([(candidate.function.name, candidate.distance,
+                           candidate.similarity) for candidate in ranked],
+                         index.last_query_used_fallback)
+    return {
+        "answers": answers,
+        # Per-batch stats *delta*: the worker index accumulates across the
+        # batches one worker serves, so absolute counters would double-count
+        # when the parent merges every batch result.
+        "stats": {
+            "strategy": stats.strategy,
+            "queries": stats.queries - before[0],
+            "candidates_scanned": stats.candidates_scanned - before[1],
+            "candidates_returned": stats.candidates_returned - before[2],
+            "population_available": stats.population_available - before[3],
+        },
+    }
+
+
+register_task(CANDIDATES_TASK, _candidates_prepare, _candidates_run)
+
+
+# ---------------------------------------------------------------------------
+# score_pairs — alignment + profitability scoring of candidate pairs
+# ---------------------------------------------------------------------------
+
+SCORE_PAIRS_TASK = "score_pairs"
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """The deterministic scoring of one candidate pair.
+
+    ``benefit`` is the cost model's *upper-bound* estimate: every aligned
+    instruction pair can at best collapse to the cheaper of the two, the
+    merged function keeps one function overhead, and both entry points pay a
+    thunk.  The committed merge decision still requires generating the merged
+    body — this score only ranks pairs, it never commits them.
+    """
+
+    first: str
+    second: str
+    matches: int
+    dp_cells: int
+    size_first: int
+    size_second: int
+    merged_estimate: int
+    benefit: int
+    profitable: bool
+
+
+def score_alignment_pair(first: Function, second: Function, size_model,
+                         thunk_overhead: int = 12, minimum_benefit: int = 1,
+                         include_phis: bool = False) -> PairScore:
+    """Align two functions and estimate the profitability of merging them.
+
+    Pure in its inputs — the same pair scores identically in any process,
+    which is what makes worker-side scoring interchangeable with parent-side
+    scoring.
+    """
+    result = align(linearize(first, include_phis), linearize(second, include_phis))
+    size_first = size_model.function_size(first)
+    size_second = size_model.function_size(second)
+    savings = size_model.function_overhead  # two prologues collapse into one
+    for pair in result.pairs:
+        if pair.is_match and not pair.first.is_label:
+            savings += min(size_model.instruction_cost(pair.first.instruction),
+                           size_model.instruction_cost(pair.second.instruction))
+    merged_estimate = size_first + size_second - savings
+    benefit = size_first + size_second - merged_estimate - 2 * thunk_overhead
+    return PairScore(
+        first=first.name, second=second.name,
+        matches=result.matches, dp_cells=result.dp_cells,
+        size_first=size_first, size_second=size_second,
+        merged_estimate=merged_estimate, benefit=benefit,
+        profitable=benefit >= minimum_benefit)
+
+
+def _score_prepare(shared: dict) -> dict:
+    return {
+        "texts": shared["functions"],
+        "cache": {},
+        "size_model": get_target(shared["target"]),
+        "thunk_overhead": shared["thunk_overhead"],
+        "minimum_benefit": shared["minimum_benefit"],
+        "include_phis": bool(shared.get("include_phis")),
+    }
+
+
+def _score_resolve(context: dict, name: str) -> Function:
+    # Lazy reconstruction: a worker only parses the functions its own
+    # batches actually score, never the whole shipped set.
+    function = context["cache"].get(name)
+    if function is None:
+        function = parse_canonical_function(context["texts"][name], name=name)
+        context["cache"][name] = function
+    return function
+
+
+def _score_run(context: dict, batch: List[Tuple[str, str]]) -> List[PairScore]:
+    size_model = context["size_model"]
+    return [score_alignment_pair(_score_resolve(context, first),
+                                 _score_resolve(context, second),
+                                 size_model,
+                                 thunk_overhead=context["thunk_overhead"],
+                                 minimum_benefit=context["minimum_benefit"],
+                                 include_phis=context["include_phis"])
+            for first, second in batch]
+
+
+register_task(SCORE_PAIRS_TASK, _score_prepare, _score_run)

@@ -11,11 +11,15 @@ Decouples "find promising merge partners" from the merge driver behind the
 See ``docs/search.md`` for strategy selection and tuning.
 """
 
+from .adaptive import choose_adaptive_strategy, make_adaptive_index
 from .index import (
     CandidateIndex,
     ExhaustiveIndex,
     MinHashLSHIndex,
     SizeBucketIndex,
+    compute_minhash_signature,
+    signature_config_key,
+    valid_signature_payload,
 )
 from .stats import SearchStats, topk_recall
 from .strategy import (
@@ -34,8 +38,13 @@ __all__ = [
     "SearchStrategy",
     "SizeBucketIndex",
     "available_strategies",
+    "choose_adaptive_strategy",
+    "compute_minhash_signature",
+    "make_adaptive_index",
     "make_index",
     "register_strategy",
     "resolve_strategy",
+    "signature_config_key",
     "topk_recall",
+    "valid_signature_payload",
 ]

@@ -1,0 +1,81 @@
+"""The ``adaptive`` search strategy: pick a concrete index per module.
+
+Every concrete strategy has a regime where it loses (ROADMAP: "small modules
+stop paying banding overhead"): ``minhash_lsh`` spends two band families of
+MinHash work per function, which a 30-function module never amortises, while
+``size_buckets`` degenerates on size-homogeneous populations where everyone
+shares one log2 bucket.  ``adaptive`` inspects the module *before* building
+anything — population size and the spread of function sizes (the
+fingerprint-width statistic, available as ``num_instructions`` without
+computing a single fingerprint) — and delegates to the concrete strategy that
+fits:
+
+* population below ``adaptive_small_population`` → ``exhaustive`` (a full
+  scan over a small module is cheaper than any index build);
+* the most-populated log2-size bucket holds at least
+  ``adaptive_dominant_share`` of the population → ``minhash_lsh`` (size
+  bucketing cannot separate a homogeneous module; content bands can);
+* otherwise → ``size_buckets`` (wide size spread: the cheap size partition
+  already prunes most of the population).
+
+The returned index *is* the concrete index — same ranking, same maintenance,
+same stats — with :attr:`SearchStats.strategy` reporting the concrete choice
+so runs stay observable, while the merge report's ``search_strategy`` keeps
+the requested ``"adaptive"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.module import Module
+from .stats import SearchStats
+from .strategy import SearchStrategy, register_strategy, resolve_strategy
+
+ADAPTIVE_STRATEGY = "adaptive"
+
+
+def choose_adaptive_strategy(module: Module, min_size: int,
+                             strategy: SearchStrategy) -> str:
+    """The concrete strategy name ``adaptive`` delegates to for ``module``."""
+    sizes = [function.num_instructions()
+             for function in module.defined_functions()
+             if function.num_instructions() >= min_size]
+    population = len(sizes)
+    if population < max(0, strategy.adaptive_small_population):
+        return "exhaustive"
+    buckets: dict = {}
+    for size in sizes:
+        bucket = size.bit_length()
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+    dominant_share = max(buckets.values()) / population if population else 0.0
+    if dominant_share >= strategy.adaptive_dominant_share:
+        return "minhash_lsh"
+    return "size_buckets"
+
+
+def make_adaptive_index(module: Module, min_size: int = 2,
+                        strategy: Optional[SearchStrategy] = None,
+                        stats: Optional[SearchStats] = None,
+                        analysis_manager=None,
+                        artifact_store=None,
+                        precomputed=None):
+    """Index factory registered under ``"adaptive"``.
+
+    Inspects the module, rewrites the strategy's ``name`` to the concrete
+    choice (every other knob is kept, so a tuned adaptive config tunes its
+    delegates too) and builds that index.
+    """
+    from .strategy import _REGISTRY  # deferred: strategy registers this factory
+
+    strategy = strategy or resolve_strategy(ADAPTIVE_STRATEGY)
+    chosen = choose_adaptive_strategy(module, min_size, strategy)
+    resolved = strategy.with_options(name=chosen)
+    factory = _REGISTRY[chosen]
+    return factory(module, min_size=min_size, strategy=resolved, stats=stats,
+                   analysis_manager=analysis_manager,
+                   artifact_store=artifact_store,
+                   precomputed=precomputed)
+
+
+register_strategy(ADAPTIVE_STRATEGY, make_adaptive_index)

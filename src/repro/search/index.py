@@ -60,11 +60,23 @@ class CandidateIndex(ABC):
 
     strategy_name = "abstract"
 
+    #: Whether a function's membership in a query's probe pool depends only
+    #: on the (query, function) pair — never on the rest of the population.
+    #: Exhaustive scans and band-collision lookups qualify; anything with
+    #: population-sensitive behaviour (radius expansion, size-triggered
+    #: sub-partitioning) does not.  Consumers caching answers across index
+    #: mutations (``repro.merge.pass_manager.prefetch_answer_valid``) may
+    #: only reason incrementally about pools with this property; the
+    #: conservative default forces them to drop cached answers on any
+    #: mutation.
+    population_independent_pools = False
+
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
                  analysis_manager=None,
-                 artifact_store=None) -> None:
+                 artifact_store=None,
+                 precomputed=None) -> None:
         self.module = module
         self.min_size = min_size
         self.strategy = strategy or resolve_strategy(self.strategy_name)
@@ -79,6 +91,18 @@ class CandidateIndex(ABC):
         #: by content digest and only compute for functions whose digest the
         #: store has never seen.
         self.artifact_store = artifact_store
+        #: Optional per-function artifacts a repro.parallel worker pool
+        #: derived ahead of the build: ``{function: {"fingerprint": ...,
+        #: "signature": ...}}``.  Consulted before the manager, the store or
+        #: any computation, so an index over pre-shipped artifacts builds
+        #: without touching the functions' bodies at all.
+        self.precomputed = precomputed or {}
+        #: Whether the most recent :meth:`candidates_for` answered through
+        #: the full-scan fallback rather than its probe pool alone.  Such an
+        #: answer depends on the fallback staying *armed*, which consumers
+        #: caching answers across index mutations must account for (see
+        #: ``repro.merge.pass_manager.prefetch_answer_valid``).
+        self.last_query_used_fallback = False
         self.fingerprints: Dict[Function, Fingerprint] = {}
         for function in module.defined_functions():
             # Initial build: populate without touching the maintenance stats,
@@ -95,6 +119,17 @@ class CandidateIndex(ABC):
     def functions_by_size(self) -> List[Function]:
         """Indexed functions ordered from largest to smallest."""
         return sorted(self.fingerprints, key=lambda f: -self.fingerprints[f].size)
+
+    def export_artifacts(self, function: Function) -> Dict[str, object]:
+        """The derived artifacts of one indexed function, ready to ship.
+
+        The base index only derives fingerprints; strategies with further
+        per-function derivations (the MinHash signatures) extend this.  The
+        format matches the ``precomputed`` map accepted by the constructor,
+        so artifacts exported from one index rebuild another — in this or any
+        other process — without recomputation.
+        """
+        return {"fingerprint": self.fingerprints[function]}
 
     # ----------------------------------------------------------- maintenance
     def add(self, function: Function) -> None:
@@ -117,7 +152,10 @@ class CandidateIndex(ABC):
     def _index_function(self, function: Function) -> bool:
         if function.num_instructions() < self.min_size:
             return False
-        if self.analysis_manager is not None:
+        precomputed = self.precomputed.get(function)
+        if precomputed is not None and "fingerprint" in precomputed:
+            fingerprint = precomputed["fingerprint"]
+        elif self.analysis_manager is not None:
             fingerprint = self.analysis_manager.fingerprint(function)
         else:
             fingerprint = Fingerprint.of(function)
@@ -146,12 +184,14 @@ class CandidateIndex(ABC):
         pairs = list(self._candidate_pool(function, fingerprint, threshold, exclude))
         ranked = rank_candidates(fingerprint, pairs, threshold, floor)
         scanned = len(pairs)
+        self.last_query_used_fallback = False
         # Fall back only when the *probe pool* was too small — if the pool
         # covered >= threshold candidates and ranking still came up short,
         # the similarity floor filtered them and a full scan would too.
         if len(ranked) < threshold and len(pairs) < threshold \
                 and self.strategy.fallback_to_scan \
                 and scanned < self._available_candidates(function, exclude):
+            self.last_query_used_fallback = True
             # Conservative fallback: the probe under-delivered, so also scan
             # the rest of the population.  Only the complement is scored —
             # the probe's short top-k merges with the complement's.
@@ -222,6 +262,7 @@ class ExhaustiveIndex(CandidateIndex):
     """The seed's full-scan ranking, extracted behind the index interface."""
 
     strategy_name = "exhaustive"
+    population_independent_pools = True  # the pool *is* the population
 
     def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
         pass
@@ -291,12 +332,18 @@ class SizeBucketIndex(CandidateIndex):
     """
 
     strategy_name = "size_buckets"
+    # Deliberately NOT population-independent: the radius widens until the
+    # pool covers the threshold and large buckets flip between full and
+    # band-partitioned scans at ``bucket_band_min`` members, so who a query
+    # scans depends on who else is indexed.  Cached answers must therefore
+    # be dropped on any index mutation (the inherited False default).
 
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
                  analysis_manager=None,
-                 artifact_store=None) -> None:
+                 artifact_store=None,
+                 precomputed=None) -> None:
         # Insertion-ordered dicts keep per-bucket membership deterministic.
         self._buckets: Dict[int, Dict[Function, Fingerprint]] = {}
         strategy = strategy or resolve_strategy(self.strategy_name)
@@ -311,7 +358,8 @@ class SizeBucketIndex(CandidateIndex):
         self._band_keys: Dict[Function, Tuple[Tuple[int, ...], ...]] = {}
         super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
                          analysis_manager=analysis_manager,
-                         artifact_store=artifact_store)
+                         artifact_store=artifact_store,
+                         precomputed=precomputed)
 
     @staticmethod
     def _bucket_of(size: int) -> int:
@@ -397,6 +445,70 @@ class SizeBucketIndex(CandidateIndex):
             radius += 1
 
 
+def signature_config_key(strategy: SearchStrategy) -> str:
+    """Store/ship key fragment identifying one MinHash signature geometry.
+
+    Signatures persisted or shipped under this key are only reusable by an
+    index with the same banding geometry, shingle size and hash family.
+    """
+    return hashlib.blake2b(
+        repr(("minhash-v1", strategy.shingle_size,
+              max(1, strategy.num_bands), max(1, strategy.rows_per_band),
+              max(0, strategy.fingerprint_bands),
+              max(1, strategy.fingerprint_rows),
+              strategy.hash_seed)).encode("ascii"),
+        digest_size=8).hexdigest()
+
+
+def _signature_hash_family(strategy: SearchStrategy) -> List[Tuple[int, int]]:
+    """The universal-hash parameters of one signature geometry."""
+    total = (max(1, strategy.num_bands) * max(1, strategy.rows_per_band)
+             + max(0, strategy.fingerprint_bands) * max(1, strategy.fingerprint_rows))
+    return _hash_family(strategy.hash_seed, total)
+
+
+def _shingle_id(shingle: Tuple[str, ...]) -> int:
+    digest = hashlib.blake2b("\x1f".join(shingle).encode("ascii"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def compute_minhash_signature(function: Function, fingerprint: Fingerprint,
+                              strategy: SearchStrategy,
+                              hash_params: Optional[Sequence[Tuple[int, int]]] = None
+                              ) -> Tuple[int, ...]:
+    """The MinHash signature of one function under ``strategy``'s geometry.
+
+    Shared by :class:`MinHashLSHIndex` and the ``repro.parallel`` worker
+    tasks, so a signature computed in a worker over a reconstructed function
+    is bit-identical to one the index would compute itself.  ``hash_params``
+    lets a caller amortise the hash-family construction across functions.
+    """
+    count_construction("MinHashSignature")
+    if hash_params is None:
+        hash_params = _signature_hash_family(strategy)
+    shingles = [_shingle_id(shingle)
+                for shingle in opcode_shingles(function, strategy.shingle_size)]
+    if not shingles:
+        shingles = [0]
+    split = max(1, strategy.num_bands) * max(1, strategy.rows_per_band)
+    signature = _minhash(shingles, hash_params[:split])
+    if max(0, strategy.fingerprint_bands):
+        signature.extend(_minhash(_fingerprint_tokens(fingerprint),
+                                  hash_params[split:]))
+    return tuple(signature)
+
+
+def valid_signature_payload(payload, expected_length: int) -> bool:
+    """Whether a loaded/shipped signature payload is structurally sound."""
+    return (isinstance(payload, (list, tuple))
+            and len(payload) == expected_length
+            and all(isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and 0 <= value < _MERSENNE_PRIME
+                    for value in payload))
+
+
 class MinHashLSHIndex(CandidateIndex):
     """Shingled-opcode MinHash signatures in banded LSH tables.
 
@@ -426,69 +538,73 @@ class MinHashLSHIndex(CandidateIndex):
     """
 
     strategy_name = "minhash_lsh"
+    #: Band collision is a pairwise predicate over (query, candidate)
+    #: signatures — the rest of the population never changes who collides.
+    population_independent_pools = True
 
     def __init__(self, module: Module, min_size: int = 2,
                  strategy: Optional[SearchStrategy] = None,
                  stats: Optional[SearchStats] = None,
                  analysis_manager=None,
-                 artifact_store=None) -> None:
+                 artifact_store=None,
+                 precomputed=None) -> None:
         strategy = strategy or resolve_strategy(self.strategy_name)
         self._num_bands = max(1, strategy.num_bands)
         self._rows = max(1, strategy.rows_per_band)
         self._fp_bands = max(0, strategy.fingerprint_bands)
         self._fp_rows = max(1, strategy.fingerprint_rows)
-        total_hashes = (self._num_bands * self._rows
-                        + self._fp_bands * self._fp_rows)
-        self._hash_params = _hash_family(strategy.hash_seed, total_hashes)
-        # Signatures persisted under this key are only reusable by an index
-        # with the same banding geometry, shingle size and hash family.
-        self._config_key = hashlib.blake2b(
-            repr(("minhash-v1", strategy.shingle_size, self._num_bands,
-                  self._rows, self._fp_bands, self._fp_rows,
-                  strategy.hash_seed)).encode("ascii"),
-            digest_size=8).hexdigest()
+        self._hash_params = _signature_hash_family(strategy)
+        self._config_key = signature_config_key(strategy)
         self._tables: List[Dict[Tuple[int, ...], Dict[Function, Fingerprint]]] = [
             {} for _ in range(self._num_bands + self._fp_bands)]
+        #: Multi-probe: per band, auxiliary tables keyed by the band key with
+        #: one row position masked out, so a query can also reach members
+        #: whose signature differs from its own in that single row.
+        self._multiprobe = max(0, strategy.multiprobe)
+        self._masked_tables: List[Dict[Tuple[int, Tuple[int, ...]],
+                                       Dict[Function, Fingerprint]]] = [
+            {} for _ in range(self._num_bands + self._fp_bands)] \
+            if self._multiprobe else []
         self._signatures: Dict[Function, Tuple[int, ...]] = {}
         super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
                          analysis_manager=analysis_manager,
-                         artifact_store=artifact_store)
+                         artifact_store=artifact_store,
+                         precomputed=precomputed)
 
     # ------------------------------------------------------------ signatures
     def _signature(self, function: Function, fingerprint: Fingerprint) -> Tuple[int, ...]:
+        shipped = self.precomputed.get(function)
+        if shipped is not None:
+            payload = shipped.get("signature")
+            if valid_signature_payload(payload, len(self._hash_params)):
+                return tuple(payload)
         store = self.artifact_store
         store_key = None
         if store is not None:
             store_key = f"{function.content_digest()}.{self._config_key}"
             payload = store.load("minhash_signature", store_key)
             if payload is not None:
-                if (isinstance(payload, list)
-                        and len(payload) == len(self._hash_params)
-                        and all(isinstance(value, int)
-                                and not isinstance(value, bool)
-                                and 0 <= value < _MERSENNE_PRIME
-                                for value in payload)):
+                if valid_signature_payload(payload, len(self._hash_params)):
                     return tuple(payload)
                 store.note_invalid_payload()
-        count_construction("MinHashSignature")
-        shingles = [self._shingle_id(shingle)
-                    for shingle in opcode_shingles(function, self.strategy.shingle_size)]
-        if not shingles:
-            shingles = [0]
-        split = self._num_bands * self._rows
-        signature = _minhash(shingles, self._hash_params[:split])
-        if self._fp_bands:
-            signature.extend(_minhash(_fingerprint_tokens(fingerprint),
-                                      self._hash_params[split:]))
+        signature = compute_minhash_signature(function, fingerprint,
+                                              self.strategy, self._hash_params)
         if store is not None:
-            store.store("minhash_signature", store_key, signature)
-        return tuple(signature)
+            store.store("minhash_signature", store_key, list(signature))
+        return signature
 
-    @staticmethod
-    def _shingle_id(shingle: Tuple[str, ...]) -> int:
-        digest = hashlib.blake2b("\x1f".join(shingle).encode("ascii"),
-                                 digest_size=8).digest()
-        return int.from_bytes(digest, "big")
+    def export_artifacts(self, function: Function) -> Dict[str, object]:
+        artifacts = super().export_artifacts(function)
+        signature = self._signatures.get(function)
+        if signature is not None:
+            artifacts["signature"] = signature
+        return artifacts
+
+    def _masked_keys(self, band: int, key: Tuple[int, ...]):
+        """The multi-probe keys of one band key: ``(position, key-without-it)``
+        for the first ``multiprobe`` row positions."""
+        for position in range(min(self._multiprobe, len(key))):
+            yield position, key[:position] + key[position + 1:]
 
     def _band_keys(self, signature: Tuple[int, ...]):
         rows = self._rows
@@ -506,6 +622,10 @@ class MinHashLSHIndex(CandidateIndex):
         self._signatures[function] = signature
         for band, key in self._band_keys(signature):
             self._tables[band].setdefault(key, {})[function] = fingerprint
+            if self._multiprobe:
+                for masked in self._masked_keys(band, key):
+                    self._masked_tables[band].setdefault(
+                        masked, {})[function] = fingerprint
 
     def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
         signature = self._signatures.pop(function, None)
@@ -517,6 +637,13 @@ class MinHashLSHIndex(CandidateIndex):
                 members.pop(function, None)
                 if not members:
                     del self._tables[band][key]
+            if self._multiprobe:
+                for masked in self._masked_keys(band, key):
+                    masked_members = self._masked_tables[band].get(masked)
+                    if masked_members is not None:
+                        masked_members.pop(function, None)
+                        if not masked_members:
+                            del self._masked_tables[band][masked]
 
     # ---------------------------------------------------------------- query
     def _candidate_pool(self, function: Function, fingerprint: Fingerprint,
@@ -530,6 +657,13 @@ class MinHashLSHIndex(CandidateIndex):
             members = self._tables[band].get(key)
             if members:
                 pool.update(members)
+            if self._multiprobe:
+                # Neighbouring buckets: members that agree with the query on
+                # every row of this band except the masked one.
+                for masked in self._masked_keys(band, key):
+                    members = self._masked_tables[band].get(masked)
+                    if members:
+                        pool.update(members)
         return self._filter_pairs(pool.items(), function, exclude)
 
 

@@ -70,10 +70,25 @@ class SearchStrategy:
     fingerprint_rows: int = 8
     #: Seed of the deterministic MinHash permutation family.
     hash_seed: int = 0x5A15
+    #: LSH multi-probe: additionally probe band buckets that differ from the
+    #: query's key in one row, for the first ``multiprobe`` row positions of
+    #: each band.  Recovers recall at fewer bands (one allowed row mismatch
+    #: roughly halves the effective rows of a band) at the cost of extra
+    #: probe tables.  0 (the default) disables it.
+    multiprobe: int = 0
     #: When a sub-linear probe yields fewer than ``threshold`` candidates,
     #: fall back to scanning the whole population for that query.  Keeps the
     #: strategies conservative over-approximations of the exhaustive ranking.
     fallback_to_scan: bool = True
+    # -- adaptive knobs ----------------------------------------------------
+    #: ``adaptive`` picks a concrete strategy per module: populations below
+    #: this stay exhaustive (banding overhead cannot pay off), larger ones
+    #: pick ``minhash_lsh`` when one log2-size bucket dominates (homogeneous
+    #: sizes: bucketing would degenerate) and ``size_buckets`` otherwise.
+    adaptive_small_population: int = 64
+    #: Fraction of the population in the most-populated log2-size bucket at
+    #: or above which the module counts as size-homogeneous.
+    adaptive_dominant_share: float = 0.5
 
     def with_options(self, **kwargs) -> "SearchStrategy":
         """A copy of this strategy with the given fields replaced."""
@@ -109,7 +124,8 @@ def make_index(module, strategy: Union[str, SearchStrategy, None] = None,
                min_size: int = 2,
                stats: Optional[SearchStats] = None,
                analysis_manager=None,
-               artifact_store=None):
+               artifact_store=None,
+               precomputed=None):
     """Build a :class:`CandidateIndex` over ``module`` for ``strategy``.
 
     ``analysis_manager`` (see :mod:`repro.analysis.manager`) makes the index
@@ -117,16 +133,19 @@ def make_index(module, strategy: Union[str, SearchStrategy, None] = None,
     computing its own.  ``artifact_store`` (see :mod:`repro.persist`) lets
     strategies with expensive per-function derivations — the MinHash
     signatures — load them by content digest and compute only what the store
-    has never seen.
+    has never seen.  ``precomputed`` (see :mod:`repro.parallel`) maps
+    functions to artifacts a worker pool already derived (``"fingerprint"``,
+    ``"signature"``), consulted before any store or computation.
     """
     resolved = resolve_strategy(strategy)
     factory = _REGISTRY[resolved.name]
     return factory(module, min_size=min_size, strategy=resolved, stats=stats,
                    analysis_manager=analysis_manager,
-                   artifact_store=artifact_store)
+                   artifact_store=artifact_store,
+                   precomputed=precomputed)
 
 
 def _ensure_builtin_strategies() -> None:
-    # Importing the index module registers the built-in strategies; deferred
-    # to call time because index.py itself imports this module.
-    from . import index  # noqa: F401
+    # Importing the index/adaptive modules registers the built-in strategies;
+    # deferred to call time because index.py itself imports this module.
+    from . import adaptive, index  # noqa: F401

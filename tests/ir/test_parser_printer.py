@@ -4,6 +4,8 @@ import pytest
 
 from repro.ir import (
     ParseError,
+    canonical_function_text,
+    parse_canonical_function,
     parse_function,
     parse_module,
     print_function,
@@ -160,3 +162,64 @@ class TestRoundTrip:
         assert reparsed.num_instructions() == original.num_instructions()
         assert len(reparsed.blocks) == len(original.blocks)
         assert [b.name for b in reparsed.blocks] == [b.name for b in original.blocks]
+
+
+class TestCanonicalRoundTrip:
+    """``parse_canonical_function`` inverts ``canonical_function_text``.
+
+    The round trip is the shipping format of ``repro.parallel``: a worker
+    must reconstruct IR whose canonical text — and therefore whose
+    ``content_digest`` — is identical to the shipped original's.
+    """
+
+    @pytest.mark.parametrize("source", [MOTIVATING_EXAMPLE, FULL_COVERAGE])
+    def test_canonical_text_is_a_fixed_point(self, source):
+        module = parse_module(source)
+        for function in module.defined_functions():
+            text = canonical_function_text(function)
+            rebuilt = parse_canonical_function(text, name=function.name)
+            assert canonical_function_text(rebuilt) == text
+
+    @pytest.mark.parametrize("source", [MOTIVATING_EXAMPLE, FULL_COVERAGE])
+    def test_content_digest_survives_the_round_trip(self, source):
+        module = parse_module(source)
+        for function in module.defined_functions():
+            rebuilt = parse_canonical_function(
+                canonical_function_text(function), name=function.name)
+            assert rebuilt.content_digest() == function.content_digest()
+
+    def test_unknown_callees_and_globals_are_declared_implicitly(self):
+        module = parse_module(FULL_COVERAGE)
+        function = module.get_function("everything")
+        rebuilt = parse_canonical_function(canonical_function_text(function))
+        worker_module = rebuilt.parent
+        # The call/invoke targets and @counter exist only as implicit
+        # declarations in the reconstruction module.
+        assert worker_module.get_function("callee") is not None
+        assert worker_module.get_function("callee").is_declaration()
+        assert worker_module.get_global("counter") is not None
+
+    def test_rebuilt_functions_are_structurally_identical(self):
+        module = parse_module(FULL_COVERAGE)
+        function = module.get_function("everything")
+        rebuilt = parse_canonical_function(canonical_function_text(function))
+        assert rebuilt.num_instructions() == function.num_instructions()
+        assert len(rebuilt.blocks) == len(function.blocks)
+        assert [i.opcode for i in rebuilt.instructions()] == \
+            [i.opcode for i in function.instructions()]
+
+    def test_canonical_declaration_round_trips(self):
+        module = parse_module(FULL_COVERAGE)
+        declaration = module.get_function("callee")
+        text = canonical_function_text(declaration)
+        rebuilt = parse_canonical_function(text, name="callee")
+        assert rebuilt.is_declaration()
+        assert canonical_function_text(rebuilt) == text
+
+    def test_malformed_canonical_text_raises(self):
+        with pytest.raises(ParseError):
+            parse_canonical_function("")
+        with pytest.raises(ParseError):
+            parse_canonical_function("not a header at all")
+        with pytest.raises(ParseError):
+            parse_canonical_function("define i32 (i32) {\nb0:\n  ret i32 %a0")

@@ -1,0 +1,212 @@
+"""Deterministic parity: serial and worker-pool runs must be bit-identical.
+
+The contract of ``repro.parallel`` is that parallelism changes wall-clock and
+nothing else: merge reports (compared via ``merge_report_digest``, which
+covers every committed and attempted merge but no wall-clock field) must not
+depend on the backend, the worker count, or whether the run was cold or
+warm-started from a shared artifact store.
+"""
+
+import pytest
+
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.harness.pipeline import run_pipeline
+from repro.merge.pass_manager import prefetch_answer_valid
+from repro.search import make_index
+from repro.workloads.mibench_like import MIBENCH
+from repro.workloads.spec_like import get_suite
+
+
+def _mibench_module():
+    spec = next(s for s in MIBENCH if s.name == "djpeg")
+    return spec.build()
+
+
+def _spec_module():
+    spec = next(s for s in get_suite("spec2006") if s.name == "456.hmmer")
+    return spec.build()
+
+
+def _generated_module():
+    return search_workload(48, seed=5)
+
+
+WORKLOADS = {
+    "mibench-like": _mibench_module,
+    "spec-like": _spec_module,
+    "generated": _generated_module,
+}
+
+
+def _digest(build, **kwargs):
+    run = run_pipeline(build(), "parity", "salssa", 2, "arm_thumb",
+                       search_strategy=kwargs.pop("search_strategy", "minhash_lsh"),
+                       **kwargs)
+    return merge_report_digest(run.report), run
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_process_backend_matches_serial(self, workload):
+        build = WORKLOADS[workload]
+        serial, _ = _digest(build, parallel_workers=0)
+        inline, inline_run = _digest(build, parallel_workers=2,
+                                     parallel_backend="serial")
+        process, process_run = _digest(build, parallel_workers=2,
+                                       parallel_backend="process")
+        assert serial == inline
+        assert serial == process
+        assert process_run.parallel_stats is not None
+        assert process_run.parallel_stats.backend == "process"
+        assert inline_run.parallel_stats.backend == "serial"
+
+    @pytest.mark.parametrize("strategy", ["exhaustive", "size_buckets",
+                                          "minhash_lsh", "adaptive"])
+    def test_every_strategy_matches_serial(self, strategy):
+        serial, _ = _digest(_generated_module, search_strategy=strategy,
+                            parallel_workers=0)
+        process, _ = _digest(_generated_module, search_strategy=strategy,
+                             parallel_workers=2, parallel_backend="process")
+        assert serial == process
+
+    def test_fmsa_technique_matches_serial(self):
+        def digest(workers):
+            run = run_pipeline(_generated_module(), "parity-fmsa", "fmsa", 1,
+                               "arm_thumb", search_strategy="minhash_lsh",
+                               parallel_workers=workers)
+            return merge_report_digest(run.report)
+
+        assert digest(0) == digest(2)
+
+
+class TestPrefetchAnswerValidity:
+    """Unit coverage of the conservative invalidation predicate."""
+
+    @pytest.fixture()
+    def index_and_answer(self):
+        module = search_workload(48, seed=5)
+        index = make_index(module, "exhaustive", min_size=3)
+        function = index.functions_by_size()[0]
+        answer = index.candidates_for(function, 3)
+        assert len(answer) == 3
+        return index, function, answer
+
+    def test_untouched_index_keeps_answers(self, index_and_answer):
+        index, function, answer = index_and_answer
+        assert prefetch_answer_valid(index, function, answer, 3, set(), [])
+
+    def test_removed_candidate_invalidates(self, index_and_answer):
+        index, function, answer = index_and_answer
+        removed = {answer[1].function}
+        assert not prefetch_answer_valid(index, function, answer, 3,
+                                         removed, [])
+
+    def test_full_answer_survives_unrelated_removals(self, index_and_answer):
+        index, function, answer = index_and_answer
+        outsider = index.functions_by_size()[-1]
+        assert outsider not in {c.function for c in answer}
+        assert prefetch_answer_valid(index, function, answer, 3,
+                                     {outsider}, [])
+
+    def test_short_answer_dies_on_any_mutation(self, index_and_answer):
+        """A floor-shortened answer has no k-th candidate to hide behind:
+        even a removal outside it can arm the live query's full-scan
+        fallback, so any mutation must invalidate it."""
+        index, function, answer = index_and_answer
+        short = answer[:2]
+        outsider = index.functions_by_size()[-1]
+        assert not prefetch_answer_valid(index, function, short, 3,
+                                         {outsider}, [])
+        assert not prefetch_answer_valid(index, function, short, 3,
+                                         set(), [outsider])
+        assert prefetch_answer_valid(index, function, short, 3, set(), [])
+
+    def test_distant_newcomer_keeps_full_answers(self, index_and_answer):
+        index, function, answer = index_and_answer
+        # The worst-ranked indexed function cannot displace the top-3.
+        reference = index.candidates_for(function, len(index.fingerprints))
+        newcomer = reference[-1].function
+        assert newcomer not in {c.function for c in answer}
+        assert prefetch_answer_valid(index, function, answer, 3,
+                                     set(), [newcomer])
+
+    def test_close_newcomer_invalidates(self, index_and_answer):
+        index, function, answer = index_and_answer
+        # A clone of the best candidate would displace the k-th entry.
+        newcomer = answer[0].function
+        assert not prefetch_answer_valid(index, function, answer, 3,
+                                         set(), [newcomer])
+
+    def test_population_dependent_pools_die_on_any_mutation(self):
+        """``size_buckets`` pools depend on who else is indexed (radius
+        expansion, the ``bucket_band_min`` flip), so incremental reasoning is
+        unsound there: any mutation must invalidate, even one the exhaustive
+        ranking key says is harmless."""
+        module = search_workload(48, seed=5)
+        index = make_index(module, "size_buckets", min_size=3)
+        assert not index.population_independent_pools
+        function = index.functions_by_size()[0]
+        answer = index.candidates_for(function, 3)
+        assert len(answer) == 3
+        outsider = index.functions_by_size()[-1]
+        assert outsider not in {c.function for c in answer}
+        assert prefetch_answer_valid(index, function, answer, 3, set(), [])
+        assert not prefetch_answer_valid(index, function, answer, 3,
+                                         {outsider}, [])
+        assert not prefetch_answer_valid(index, function, answer, 3,
+                                         set(), [outsider])
+
+    def test_fallback_answers_die_on_additions(self, index_and_answer):
+        index, function, answer = index_and_answer
+        outsider = index.functions_by_size()[-1]
+        assert outsider not in {c.function for c in answer}
+        assert not prefetch_answer_valid(index, function, answer, 3,
+                                         set(), [outsider],
+                                         used_fallback=True)
+        assert prefetch_answer_valid(index, function, answer, 3,
+                                     {outsider}, [], used_fallback=True)
+
+
+class TestWarmStartParity:
+    def test_warm_process_run_matches_cold_serial(self, tmp_path):
+        """A shared ``cache_dir``: serial populates it cold, a process-backed
+        run warm-starts from it — reports stay bit-identical and the warm run
+        computes no signatures in its workers."""
+        cache_dir = str(tmp_path / "shared")
+        cold, cold_run = _digest(_generated_module, parallel_workers=0,
+                                 cache_dir=cache_dir)
+        warm, warm_run = _digest(_generated_module, parallel_workers=2,
+                                 parallel_backend="process",
+                                 cache_dir=cache_dir)
+        assert cold == warm
+        stats = warm_run.parallel_stats
+        assert stats.signatures_computed == 0
+        assert stats.signatures_loaded > 0
+
+    def test_cold_process_then_warm_serial(self, tmp_path):
+        """The other direction: workers compute cold artifacts, the parent
+        publishes them, and a later serial run loads them all."""
+        cache_dir = str(tmp_path / "shared")
+        cold, cold_run = _digest(_generated_module, parallel_workers=2,
+                                 parallel_backend="process",
+                                 cache_dir=cache_dir)
+        assert cold_run.parallel_stats.signatures_computed > 0
+        warm, warm_run = _digest(_generated_module, parallel_workers=0,
+                                 cache_dir=cache_dir)
+        assert cold == warm
+        assert warm_run.persist_stats.hits > 0
+
+    def test_parallel_and_serial_stores_are_interchangeable(self, tmp_path):
+        """Artifacts published from worker results are byte-compatible with
+        serially computed ones: warm-starting either way hits."""
+        serial_dir = str(tmp_path / "serial")
+        process_dir = str(tmp_path / "process")
+        _digest(_generated_module, parallel_workers=0, cache_dir=serial_dir)
+        _digest(_generated_module, parallel_workers=2,
+                parallel_backend="process", cache_dir=process_dir)
+        _, warm_a = _digest(_generated_module, parallel_workers=2,
+                            parallel_backend="process", cache_dir=serial_dir)
+        _, warm_b = _digest(_generated_module, parallel_workers=0,
+                            cache_dir=process_dir)
+        assert warm_a.parallel_stats.signatures_computed == 0
+        assert warm_b.persist_stats.hits > 0

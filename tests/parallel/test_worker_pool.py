@@ -1,0 +1,180 @@
+"""Unit tests of the worker-pool layer: registry, batching, tasks, engine."""
+
+import pytest
+
+from repro.analysis.fingerprint import Fingerprint
+from repro.analysis.manager import ModuleAnalysisManager
+from repro.analysis.size_model import X86_64
+from repro.harness.experiments import search_workload
+from repro.parallel import (
+    ParallelConfig,
+    ParallelEngine,
+    ParallelStats,
+    available_backends,
+    make_batches,
+    make_pool,
+    resolve_config,
+    score_alignment_pair,
+)
+from repro.parallel.tasks import get_task
+from repro.persist import ArtifactStore
+from repro.search import make_index
+from repro.search.index import compute_minhash_signature
+from repro.search.strategy import resolve_strategy
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "serial" in available_backends()
+        assert "process" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            resolve_config("threads-of-theseus")
+
+    def test_resolve_accepts_name_config_none(self):
+        assert resolve_config(None).backend == "serial"
+        assert resolve_config("process").backend == "process"
+        config = ParallelConfig(backend="process", workers=3)
+        assert resolve_config(config) is config
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError, match="unknown parallel task"):
+            get_task("mine-bitcoin")
+
+    def test_serial_pool_is_inline(self):
+        assert make_pool("serial").inline
+        assert not make_pool("process").inline
+
+
+class TestBatching:
+    def test_empty(self):
+        assert make_batches([], 4) == []
+
+    def test_all_items_kept_in_order(self):
+        items = list(range(103))
+        batches = make_batches(items, 4, batches_per_worker=3)
+        assert [x for b in batches for x in b] == items
+        assert all(batches)  # no empty batches
+
+    def test_single_worker_single_batch_cap(self):
+        batches = make_batches([1, 2], 8, batches_per_worker=4)
+        assert [x for b in batches for x in b] == [1, 2]
+
+
+class TestParallelStats:
+    def test_merge_accumulates(self):
+        a = ParallelStats(backend="process", workers=2, batches=3,
+                          functions_shipped=10, pairs_scored=4)
+        b = ParallelStats(backend="process", workers=4, batches=1,
+                          queries_prefetched=5, prefetched_used=2)
+        a.merge(b)
+        assert a.workers == 4
+        assert a.batches == 4
+        assert a.functions_shipped == 10
+        assert a.queries_prefetched == 5
+        assert a.prefetch_hit_rate == pytest.approx(0.4)
+
+    def test_mixed_backends_marked(self):
+        a = ParallelStats(backend="serial")
+        a.merge(ParallelStats(backend="process"))
+        assert a.backend == "mixed"
+
+    def test_as_dict_round_trip_keys(self):
+        stats = ParallelStats(backend="serial", workers=1)
+        summary = stats.as_dict()
+        assert summary["backend"] == "serial"
+        assert "prefetch_hit_rate" in summary
+
+
+@pytest.fixture(scope="module")
+def module_48():
+    return search_workload(48, seed=11)
+
+
+class TestEnginePhases:
+    """Every phase's worker result must equal the direct serial computation."""
+
+    def test_inline_engine_precomputes_nothing(self, module_48):
+        engine = ParallelEngine(ParallelConfig(backend="serial"))
+        assert engine.precompute_index_artifacts(module_48, "minhash_lsh",
+                                                 min_size=3) == {}
+
+    def test_process_artifacts_match_direct_computation(self, module_48):
+        engine = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        precomputed = engine.precompute_index_artifacts(module_48, "minhash_lsh",
+                                                        min_size=3)
+        strategy = resolve_strategy("minhash_lsh")
+        assert precomputed
+        for function, artifact in precomputed.items():
+            fingerprint = Fingerprint.of(function)
+            assert artifact["fingerprint"] == fingerprint
+            assert artifact["signature"] == compute_minhash_signature(
+                function, fingerprint, strategy)
+
+    def test_artifacts_prime_the_analysis_manager(self, module_48):
+        manager = ModuleAnalysisManager(module_48)
+        engine = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        engine.precompute_index_artifacts(module_48, "exhaustive",
+                                          min_size=3, manager=manager)
+        assert manager.stats.primed > 0
+        baseline_misses = manager.stats.misses
+        for function in module_48.defined_functions():
+            if function.num_instructions() >= 3:
+                manager.fingerprint(function)
+        # Every fingerprint query after priming is a hit, not a recompute.
+        assert manager.stats.misses == baseline_misses
+
+    def test_prefetch_matches_live_queries(self, module_48):
+        index = make_index(module_48, "minhash_lsh", min_size=3)
+        engine = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        answers = engine.prefetch_candidates(index, index.functions_by_size(), 2)
+        reference = make_index(module_48, "minhash_lsh", min_size=3)
+        for function in reference.functions_by_size():
+            live = reference.candidates_for(function, 2)
+            shipped = answers[function]
+            assert [(c.function, c.distance, c.similarity) for c in live] == \
+                [(c.function, c.distance, c.similarity)
+                 for c in shipped.candidates]
+            assert shipped.used_fallback == reference.last_query_used_fallback
+
+    def test_prefetch_merges_worker_search_stats(self, module_48):
+        index = make_index(module_48, "minhash_lsh", min_size=3)
+        engine = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        queries = index.functions_by_size()
+        engine.prefetch_candidates(index, queries, 2)
+        assert index.stats.queries == len(queries)
+        assert index.stats.candidates_scanned > 0
+
+    def test_score_pairs_matches_inline(self, module_48):
+        functions = sorted(module_48.defined_functions(), key=lambda f: f.name)
+        pairs = [(functions[i], functions[i + 1]) for i in range(0, 8, 2)]
+        inline = ParallelEngine(ParallelConfig(backend="serial"))
+        process = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        assert inline.score_pairs(pairs, X86_64) == \
+            process.score_pairs(pairs, X86_64)
+
+    def test_score_pair_is_deterministic_and_sane(self, module_48):
+        functions = sorted(module_48.defined_functions(), key=lambda f: f.name)
+        first, second = functions[0], functions[1]
+        score = score_alignment_pair(first, second, X86_64)
+        assert score == score_alignment_pair(first, second, X86_64)
+        assert score.first == first.name and score.second == second.name
+        assert score.dp_cells > 0
+        assert score.merged_estimate <= score.size_first + score.size_second
+
+    def test_worker_store_is_read_only(self, module_48, tmp_path):
+        store = ArtifactStore(tmp_path)
+        engine = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        engine.precompute_index_artifacts(module_48, "minhash_lsh",
+                                          min_size=3, store=store)
+        # All records were published by the parent-side store object.
+        assert store.stats.stores > 0
+        assert engine.stats.signatures_computed > 0
+        # A second engine run over the same store loads everything.
+        warm = ParallelEngine(ParallelConfig(backend="process", workers=2))
+        warm.precompute_index_artifacts(module_48, "minhash_lsh",
+                                        min_size=3, store=store)
+        assert warm.stats.signatures_computed == 0
+        assert warm.stats.fingerprints_computed == 0
+        assert warm.stats.signatures_loaded == engine.stats.signatures_computed

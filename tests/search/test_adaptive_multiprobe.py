@@ -1,0 +1,139 @@
+"""Tests for the ``adaptive`` strategy and LSH multi-probe (PR 4 satellites)."""
+
+import pytest
+
+from repro.harness.experiments import search_workload
+from repro.search import (
+    SearchStrategy,
+    choose_adaptive_strategy,
+    make_index,
+    resolve_strategy,
+    topk_recall,
+)
+from repro.transforms.simplify import simplify_module
+from repro.workloads.generator import FamilySpec, ProgramSpec, generate_program
+
+
+def _homogeneous_module(num_families=40, function_size=30, seed=3):
+    """A module whose functions all share one log2-size bucket."""
+    spec = ProgramSpec(
+        name="homog", seed=seed,
+        families=[FamilySpec(size=2, divergence=0.05, function_size=function_size)
+                  for _ in range(num_families)],
+        standalone_functions=0, with_main=False)
+    module = generate_program(spec)
+    simplify_module(module)
+    return module
+
+
+class TestAdaptiveStrategy:
+    def test_small_population_stays_exhaustive(self):
+        module = search_workload(24, seed=7)
+        index = make_index(module, "adaptive", min_size=3)
+        assert index.stats.strategy == "exhaustive"
+
+    def test_heterogeneous_population_picks_size_buckets(self):
+        module = search_workload(256, seed=7)  # family sizes 12..80: wide spread
+        index = make_index(module, "adaptive", min_size=3)
+        assert index.stats.strategy == "size_buckets"
+
+    def test_homogeneous_population_picks_minhash(self):
+        module = _homogeneous_module()
+        index = make_index(module, "adaptive", min_size=3)
+        assert index.stats.strategy == "minhash_lsh"
+
+    def test_small_population_knob_shifts_the_cutoff(self):
+        module = search_workload(96, seed=7)
+        strategy = resolve_strategy("adaptive")
+        assert choose_adaptive_strategy(module, 3, strategy) != "exhaustive"
+        raised = strategy.with_options(adaptive_small_population=10_000)
+        assert choose_adaptive_strategy(module, 3, raised) == "exhaustive"
+
+    def test_adaptive_answers_match_the_chosen_concrete_index(self):
+        module = search_workload(128, seed=7)
+        adaptive = make_index(module, "adaptive", min_size=3)
+        concrete = make_index(module, adaptive.stats.strategy, min_size=3)
+        for function in concrete.functions_by_size()[:32]:
+            expected = concrete.candidates_for(function, 2)
+            observed = adaptive.candidates_for(function, 2)
+            assert [(c.function, c.distance) for c in expected] == \
+                [(c.function, c.distance) for c in observed]
+
+    def test_adaptive_keeps_every_other_knob(self):
+        module = search_workload(128, seed=7)
+        tuned = resolve_strategy("adaptive").with_options(bucket_radius=2)
+        index = make_index(module, tuned, min_size=3)
+        assert index.strategy.bucket_radius == 2
+        assert index.strategy.name == index.stats.strategy
+
+
+#: Deliberately starved banding: few bands, so multi-probe has recall to
+#: recover.  ``fallback_to_scan=False`` isolates the probe's own recall.
+_FEW_BANDS = SearchStrategy(name="minhash_lsh", num_bands=2, rows_per_band=4,
+                            fingerprint_bands=2, fingerprint_rows=12,
+                            fallback_to_scan=False)
+
+
+def _mean_recall(module, strategy, top_k=2):
+    reference = make_index(module, "exhaustive", min_size=3)
+    queries = reference.functions_by_size()
+    index = make_index(module, strategy, min_size=3)
+    total = 0.0
+    for function in queries:
+        expected = [c.function for c in reference.candidates_for(function, top_k)]
+        observed = [c.function for c in index.candidates_for(function, top_k)]
+        total += topk_recall(expected, observed)
+    return total / len(queries), index
+
+
+class TestMultiProbe:
+    def test_multiprobe_recovers_recall_at_fewer_bands(self):
+        module = search_workload(192, seed=9)
+        base_recall, _ = _mean_recall(module, _FEW_BANDS)
+        probed_recall, _ = _mean_recall(module,
+                                        _FEW_BANDS.with_options(multiprobe=3))
+        assert probed_recall > base_recall
+        assert probed_recall >= base_recall + 0.05
+
+    def test_multiprobe_pool_is_a_superset(self):
+        module = search_workload(96, seed=9)
+        plain = make_index(module, _FEW_BANDS, min_size=3)
+        probed = make_index(module, _FEW_BANDS.with_options(multiprobe=2),
+                            min_size=3)
+        for function in plain.functions_by_size():
+            narrow = {c.function.name
+                      for c in plain.candidates_for(function, 100)}
+            wide = {c.function.name
+                    for c in probed.candidates_for(function, 100)}
+            assert narrow <= wide
+
+    def test_removed_functions_never_resurface_from_probe_tables(self):
+        module = search_workload(96, seed=9)
+        index = make_index(module, _FEW_BANDS.with_options(multiprobe=2),
+                           min_size=3)
+        victims = index.functions_by_size()[:8]
+        for victim in victims:
+            index.remove(victim)
+        for function in index.functions_by_size():
+            returned = {c.function for c in index.candidates_for(function, 100)}
+            assert not returned.intersection(victims)
+
+    def test_update_keeps_probe_tables_consistent(self):
+        module = search_workload(96, seed=9)
+        index = make_index(module, _FEW_BANDS.with_options(multiprobe=2),
+                           min_size=3)
+        function = index.functions_by_size()[0]
+        index.update(function)  # unchanged body: must stay queryable, once
+        answers = index.candidates_for(index.functions_by_size()[1], 100)
+        assert len({c.function for c in answers}) == len(answers)
+
+    def test_multiprobe_zero_is_the_default_behaviour(self):
+        module = search_workload(96, seed=9)
+        default = make_index(module, _FEW_BANDS, min_size=3)
+        explicit = make_index(module, _FEW_BANDS.with_options(multiprobe=0),
+                              min_size=3)
+        for function in default.functions_by_size():
+            assert [(c.function, c.distance)
+                    for c in default.candidates_for(function, 3)] == \
+                [(c.function, c.distance)
+                 for c in explicit.candidates_for(function, 3)]
