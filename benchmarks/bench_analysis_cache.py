@@ -20,7 +20,7 @@ import os
 from repro.harness import analysis_cache_comparison
 from repro.harness.reporting import format_analysis_cache, format_analysis_stats
 
-from conftest import FULL, run_once
+from conftest import FULL, append_trend, run_once
 
 SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
 SIZES = (256,) if SMOKE else ((128, 256, 512) if FULL else (128, 256))
@@ -40,6 +40,18 @@ def test_analysis_cache_comparison(benchmark):
     benchmark.extra_info["fingerprint_ratio"] = round(
         result.construction_ratio(largest, "Fingerprint"), 2)
     benchmark.extra_info["wall_speedup"] = round(result.speedup(largest), 2)
+    cached_row = result.row(largest, cached=True)
+    append_trend(
+        "analysis_cache", num_functions=largest,
+        domtree_ratio=round(
+            result.construction_ratio(largest, "DominatorTree"), 3),
+        fingerprint_ratio=round(
+            result.construction_ratio(largest, "Fingerprint"), 3),
+        hit_rate=round(cached_row.analysis_stats.hit_rate, 4)
+        if cached_row is not None and cached_row.analysis_stats is not None
+        else 0.0,
+        speedup=round(result.speedup(largest), 3),
+        digests_match=all(result.digests_match(s) for s in SIZES))
     # The acceptance bar for the subsystem.  (Deterministic quantities only —
     # the wall-clock speedup is recorded in extra_info but not asserted, so CI
     # timing noise cannot fail it.)

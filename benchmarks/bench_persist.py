@@ -26,7 +26,7 @@ import os
 from repro.harness import warm_start_comparison
 from repro.harness.reporting import format_store_stats, format_warm_start
 
-from conftest import FULL, run_once
+from conftest import FULL, append_trend, run_once
 
 SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
 SIZES = (96,) if SMOKE else ((128, 256, 512) if FULL else (128, 256))
@@ -47,6 +47,18 @@ def test_warm_start_pipeline(benchmark, tmp_path):
         result.computation_reduction(largest, "signatures"), 3)
     benchmark.extra_info["fingerprint_reduction"] = round(
         result.computation_reduction(largest, "fingerprints"), 3)
+    warm = result.row(largest, "warm")
+    append_trend(
+        "persist_warm_start", num_functions=largest,
+        signature_reduction=round(
+            result.computation_reduction(largest, "signatures"), 4),
+        fingerprint_reduction=round(
+            result.computation_reduction(largest, "fingerprints"), 4),
+        warm_hit_rate=round(warm.persist_stats.hit_rate, 4)
+        if warm is not None and warm.persist_stats is not None else 0.0,
+        warm_recomputed=warm.signatures_computed if warm is not None else 0,
+        speedup=round(result.speedup(largest), 3),
+        digests_match=all(result.digests_match(s) for s in SIZES))
     # The acceptance bar for the subsystem.  (Deterministic quantities only —
     # wall-clock speedup is recorded in extra_info but not asserted.)
     for size in SIZES:

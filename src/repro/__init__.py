@@ -16,6 +16,8 @@ The package is organised as follows:
   warm-starts repeated pipeline runs.
 * :mod:`repro.parallel` — a worker-pool execution engine for the pipeline's
   read-only phases (candidate ranking and alignment scoring).
+* :mod:`repro.obs` — the telemetry spine: a unified metrics registry,
+  phase-scoped span tracing and Prometheus/JSON exporters.
 * :mod:`repro.harness` — the experiment pipeline that regenerates every table
   and figure of the paper's evaluation section.
 """
@@ -23,4 +25,4 @@ The package is organised as follows:
 __version__ = "1.0.0"
 
 __all__ = ["ir", "analysis", "transforms", "merge", "workloads", "search",
-           "persist", "parallel", "harness"]
+           "persist", "parallel", "obs", "harness"]

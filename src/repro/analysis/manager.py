@@ -34,6 +34,7 @@ and ``docs/persistence.md`` for the persistent tier.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
@@ -160,6 +161,19 @@ class FunctionAnalysisManager:
         #: a hit here (nothing was recomputed); the store keeps its own
         #: hit/miss/load/store counters.
         self._persistent = persistent
+        #: Optional repro.obs.MetricsRegistry (see :meth:`attach_metrics`):
+        #: when attached, cache misses time their recomputation into the
+        #: ``repro_analysis_compute_seconds`` timer family.
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Record per-analysis recomputation timings into ``registry``.
+
+        Purely observational — cached values, stats counters and results are
+        identical with or without a registry; only misses pay one extra
+        ``perf_counter`` pair.  Passing ``None`` detaches.
+        """
+        self._metrics = registry
 
     # ------------------------------------------------------------- registry
     def register(self, name: str, compute: Callable[[Function], Any],
@@ -198,7 +212,15 @@ class FunctionAnalysisManager:
         if loaded:
             self.stats.record_hit()
         else:
-            value = compute(function)
+            if self._metrics is not None:
+                started = time.perf_counter()
+                value = compute(function)
+                self._metrics.timer(
+                    "repro_analysis_compute_seconds",
+                    help="Wall-clock of analysis recomputations, by analysis.",
+                    analysis=name).observe(time.perf_counter() - started)
+            else:
+                value = compute(function)
             self.stats.record_miss(name)
             if self._persistent is not None:
                 self._persistent.save(name, function, value)
@@ -333,6 +355,10 @@ class ModuleAnalysisManager:
     @property
     def stats(self) -> AnalysisStats:
         return self.functions.stats
+
+    def attach_metrics(self, registry) -> None:
+        """See :meth:`FunctionAnalysisManager.attach_metrics`."""
+        self.functions.attach_metrics(registry)
 
     # Delegation: a ModuleAnalysisManager can be used wherever a function-level
     # manager is expected, so consumers accept either.

@@ -80,48 +80,57 @@ def arithmetic_mean(values: Iterable[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+def _merge_distinct(combined, stats):
+    """Merge each *distinct* stats object into ``combined`` exactly once.
+
+    Several results routinely alias one live stats object — pipeline runs
+    sharing an :class:`~repro.persist.ArtifactStore` share its
+    :class:`~repro.persist.StoreStats`, and a ``PipelineResult`` and its
+    ``report`` expose the same search/persist objects — so entries are
+    deduplicated by identity before merging; folding the same object twice
+    would double every total.  ``None`` entries are skipped.
+    """
+    seen = set()
+    for entry in stats:
+        if entry is None or id(entry) in seen:
+            continue
+        seen.add(id(entry))
+        combined.merge(entry)
+    return combined
+
+
 def combine_search_stats(stats: Iterable[Optional[SearchStats]]) -> SearchStats:
     """Roll per-module candidate-search stats up into one aggregate.
 
     Accepts the ``report.search_stats`` of many merge runs (``None`` entries —
-    e.g. from baseline-only pipeline runs — are skipped) and returns a single
-    :class:`SearchStats` whose totals and :attr:`~SearchStats.scan_fraction`
-    cover the whole experiment.
+    e.g. from baseline-only pipeline runs — are skipped, and aliases of one
+    stats object count once) and returns a single :class:`SearchStats` whose
+    totals and :attr:`~SearchStats.scan_fraction` cover the whole experiment.
     """
-    combined = SearchStats()
-    for entry in stats:
-        if entry is not None:
-            combined.merge(entry)
-    return combined
+    return _merge_distinct(SearchStats(), stats)
 
 
 def combine_analysis_stats(stats: Iterable[Optional[AnalysisStats]]) -> AnalysisStats:
     """Roll per-run analysis-manager counters up into one aggregate.
 
     Accepts the ``analysis_stats`` of many pipeline results (``None`` entries
-    — runs without analysis caching — are skipped); the merged counters cover
-    the whole experiment, mirroring :func:`combine_search_stats`.
+    — runs without analysis caching — are skipped, and aliases of one stats
+    object count once); the merged counters cover the whole experiment,
+    mirroring :func:`combine_search_stats`.
     """
-    combined = AnalysisStats()
-    for entry in stats:
-        if entry is not None:
-            combined.merge(entry)
-    return combined
+    return _merge_distinct(AnalysisStats(), stats)
 
 
 def combine_store_stats(stats: Iterable[Optional[StoreStats]]) -> StoreStats:
     """Roll per-run artifact-store counters up into one aggregate.
 
     Accepts the ``persist_stats`` of many pipeline results (``None`` entries
-    — runs without a ``cache_dir`` — are skipped).  Note that runs sharing
-    one live :class:`~repro.persist.ArtifactStore` already share its stats
-    object; only combine stats of *distinct* stores or the totals double.
+    — runs without a ``cache_dir`` — are skipped).  Runs sharing one live
+    :class:`~repro.persist.ArtifactStore` share its stats object; such
+    aliases are merged exactly once, so passing every run of a shared-store
+    experiment is safe and never double-counts.
     """
-    combined = StoreStats()
-    for entry in stats:
-        if entry is not None:
-            combined.merge(entry)
-    return combined
+    return _merge_distinct(StoreStats(), stats)
 
 
 def combine_parallel_stats(stats: Iterable[Optional[ParallelStats]]
@@ -129,14 +138,10 @@ def combine_parallel_stats(stats: Iterable[Optional[ParallelStats]]
     """Roll per-run worker-pool counters up into one aggregate.
 
     Accepts the ``parallel_stats`` of many pipeline results (``None`` entries
-    — runs without a worker engine — are skipped), mirroring
-    :func:`combine_search_stats`.
+    — runs without a worker engine — are skipped, and aliases of one stats
+    object count once), mirroring :func:`combine_search_stats`.
     """
-    combined = ParallelStats()
-    for entry in stats:
-        if entry is not None:
-            combined.merge(entry)
-    return combined
+    return _merge_distinct(ParallelStats(), stats)
 
 
 def speedup(reference_seconds: float, measured_seconds: float) -> float:

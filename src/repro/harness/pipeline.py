@@ -15,6 +15,8 @@ from typing import Dict, Optional, Union
 
 from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..obs import MetricsRegistry, as_registry, maybe_span, \
+    observe_pipeline_result
 from ..parallel.stats import ParallelStats
 from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
@@ -52,6 +54,11 @@ class PipelineResult:
     #: Worker-pool counters of the merge pass (None when the run had no
     #: engine — ``parallel_workers=0``, the serial default).
     parallel_stats: Optional[ParallelStats] = None
+    #: The run's unified telemetry (see :mod:`repro.obs`): every stats view
+    #: above folded into one registry, plus phase spans and timers.  None
+    #: unless ``run_pipeline`` was called with ``metrics=``; export with
+    #: ``result.metrics.to_prometheus()`` or ``result.metrics.snapshot()``.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def reduction_percent(self) -> float:
@@ -69,18 +76,25 @@ class PipelineResult:
 
 
 def baseline_compile(module: Module,
-                     analysis_manager: Optional[ModuleAnalysisManager] = None
-                     ) -> float:
+                     analysis_manager: Optional[ModuleAnalysisManager] = None,
+                     metrics: Optional[MetricsRegistry] = None) -> float:
     """The "rest of the compiler" proxy: clean-up, verification and emission.
 
     Returns the time spent, which the compile-time experiment (Figure 24) uses
-    as the denominator when normalising the merging overhead.
+    as the denominator when normalising the merging overhead.  With a
+    ``metrics`` registry attached, the stage also records a
+    ``baseline_compile`` span with one sub-span per sub-stage.
     """
     started = time.perf_counter()
-    promote_module(module, analysis_manager)  # mem2reg runs early in any -O pipeline
-    simplify_module(module, analysis_manager)
-    verify_module(module, raise_on_error=False, manager=analysis_manager)
-    print_module(module)  # stands in for instruction selection / emission
+    with maybe_span(metrics, "baseline_compile"):
+        with maybe_span(metrics, "baseline_compile.mem2reg"):
+            promote_module(module, analysis_manager)  # runs early in any -O pipeline
+        with maybe_span(metrics, "baseline_compile.simplify"):
+            simplify_module(module, analysis_manager)
+        with maybe_span(metrics, "baseline_compile.verify"):
+            verify_module(module, raise_on_error=False, manager=analysis_manager)
+        with maybe_span(metrics, "baseline_compile.emit"):
+            print_module(module)  # stands in for instruction selection / emission
     return time.perf_counter() - started
 
 
@@ -114,7 +128,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  cache_dir: Optional[str] = None,
                  artifact_store: Optional[ArtifactStore] = None,
                  parallel_workers: int = 0,
-                 parallel_backend: str = "process"
+                 parallel_backend: str = "process",
+                 metrics: Union[None, bool, MetricsRegistry] = None
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
@@ -144,8 +159,18 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     bit-identical with a cold, warm or absent store.  (An explicitly passed
     ``analysis_manager`` is used as-is — it keeps whatever persistent tier it
     was built with.)
+
+    ``metrics`` turns on the unified telemetry spine (see :mod:`repro.obs`):
+    ``True`` gives the run a fresh :class:`~repro.obs.MetricsRegistry`, or
+    pass a registry to accumulate several runs into one.  The registry is
+    threaded through every layer — phase spans, store/search/analysis hooks,
+    per-worker registries merged back deterministically — and surfaced on
+    :attr:`PipelineResult.metrics` with all the stats views above folded in.
+    Telemetry is purely observational: reports and sizes are bit-identical
+    with it on or off.
     """
     size_model = get_target(target)
+    registry = as_registry(metrics)
     store = artifact_store
     if store is None and cache_dir is not None:
         store = ArtifactStore(cache_dir)
@@ -153,16 +178,24 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     if manager is None and analysis_caching:
         persistent = PersistentAnalysisCache(store) if store is not None else None
         manager = ModuleAnalysisManager(module, persistent=persistent)
-    baseline_seconds = baseline_compile(module, manager)
+    if registry is not None:
+        if store is not None:
+            store.attach_metrics(registry)
+        if manager is not None:
+            manager.attach_metrics(registry)
+    baseline_seconds = baseline_compile(module, manager, registry)
     baseline_size = size_model.module_size(module)
     baseline_instructions = module.num_instructions()
 
     if technique == "none":
-        return PipelineResult(benchmark, technique, threshold, baseline_size,
-                              baseline_size, baseline_instructions,
-                              baseline_instructions, baseline_seconds, 0.0,
-                              analysis_stats=manager.stats if manager else None,
-                              persist_stats=store.stats if store else None)
+        result = PipelineResult(benchmark, technique, threshold, baseline_size,
+                                baseline_size, baseline_instructions,
+                                baseline_instructions, baseline_seconds, 0.0,
+                                analysis_stats=manager.stats if manager else None,
+                                persist_stats=store.stats if store else None,
+                                metrics=registry)
+        observe_pipeline_result(registry, result)
+        return result
 
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
                                 search_strategy=search_strategy,
@@ -172,16 +205,18 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
 
     peak_bytes = 0
     started = time.perf_counter()
-    if measure_memory:
-        report, peak_bytes = measure_peak_memory(merging_pass.run, module,
-                                                 manager, store)
-    else:
-        report = merging_pass.run(module, analysis_manager=manager,
-                                  artifact_store=store)
+    with maybe_span(registry, "merge"):
+        if measure_memory:
+            report, peak_bytes = measure_peak_memory(merging_pass.run, module,
+                                                     manager, store,
+                                                     metrics=registry)
+        else:
+            report = merging_pass.run(module, analysis_manager=manager,
+                                      artifact_store=store, metrics=registry)
     merge_seconds = time.perf_counter() - started
 
     final_size = size_model.module_size(module)
-    return PipelineResult(
+    result = PipelineResult(
         benchmark=benchmark,
         technique=technique,
         threshold=threshold,
@@ -196,4 +231,7 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         analysis_stats=manager.stats if manager else None,
         persist_stats=store.stats if store else None,
         parallel_stats=report.parallel_stats,
+        metrics=registry,
     )
+    observe_pipeline_result(registry, result)
+    return result

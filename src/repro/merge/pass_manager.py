@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Union
 
 from ..analysis.manager import ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64
+from ..obs import as_registry, maybe_span
 from ..parallel.stats import ParallelStats
 from ..persist.store import ArtifactStore, StoreStats
 from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
@@ -150,7 +151,8 @@ class FunctionMergingPass:
     # ------------------------------------------------------------ interface
     def run(self, module: Module,
             analysis_manager: Optional[ModuleAnalysisManager] = None,
-            artifact_store: Optional[ArtifactStore] = None) -> MergeReport:
+            artifact_store: Optional[ArtifactStore] = None,
+            metrics=None) -> MergeReport:
         """Run the pass over ``module``.
 
         ``analysis_manager`` is threaded through the candidate index (shared
@@ -161,12 +163,31 @@ class FunctionMergingPass:
         Without either, every consumer computes its analyses from scratch —
         the reported merges are bit-identical in all modes, only the work
         differs.
+
+        ``metrics`` (None, True or a :class:`repro.obs.MetricsRegistry`)
+        turns on telemetry: the pass records ``merge.*`` phase spans, times
+        every attempt's alignment and codegen, and hands per-worker
+        registries back through the engine.  Purely observational — the
+        report is bit-identical with telemetry on or off.
         """
         options = self.options
         manager = analysis_manager
+        registry = as_registry(metrics)
         store = artifact_store
         if store is None and options.cache_dir is not None:
             store = ArtifactStore(options.cache_dir)
+        alignment_timer = codegen_timer = None
+        if registry is not None:
+            if store is not None:
+                store.attach_metrics(registry)
+            alignment_timer = registry.timer(
+                "repro_merge_alignment_seconds",
+                help="Wall-clock of per-attempt sequence alignment.",
+                technique=options.technique)
+            codegen_timer = registry.timer(
+                "repro_merge_codegen_seconds",
+                help="Wall-clock of per-attempt merged-body generation.",
+                technique=options.technique)
         # One cost model for the whole run; resolving it per attempt built a
         # fresh instance in the hot candidate loop.
         cost_model = options.resolved_cost_model()
@@ -183,18 +204,21 @@ class FunctionMergingPass:
 
         engine = None
         precomputed = None
-        if self.parallel_config is not None:
-            from ..parallel.engine import ParallelEngine
-            engine = ParallelEngine(self.parallel_config)
-            precomputed = engine.precompute_index_artifacts(
-                module, self.search_strategy,
-                min_size=options.min_function_size,
-                manager=manager, store=store)
-        index = make_index(module, self.search_strategy,
-                           min_size=options.min_function_size,
-                           analysis_manager=manager,
-                           artifact_store=store,
-                           precomputed=precomputed)
+        with maybe_span(registry, "merge.index_build"):
+            if self.parallel_config is not None:
+                from ..parallel.engine import ParallelEngine
+                engine = ParallelEngine(self.parallel_config, metrics=registry)
+                precomputed = engine.precompute_index_artifacts(
+                    module, self.search_strategy,
+                    min_size=options.min_function_size,
+                    manager=manager, store=store)
+            index = make_index(module, self.search_strategy,
+                               min_size=options.min_function_size,
+                               analysis_manager=manager,
+                               artifact_store=store,
+                               precomputed=precomputed)
+        if registry is not None:
+            index.attach_metrics(registry)
         report.search_stats = index.stats
         report.persist_stats = store.stats if store is not None else None
         consumed: Set[Function] = set()
@@ -212,9 +236,10 @@ class FunctionMergingPass:
             # Population-dependent indexes (size_buckets) lose every cached
             # answer on the first index mutation, so prefetching for them
             # would be pure discarded work.
-            if getattr(index, "population_independent_pools", False):
-                prefetched = engine.prefetch_candidates(
-                    index, worklist, options.exploration_threshold)
+            with maybe_span(registry, "merge.prefetch"):
+                if getattr(index, "population_independent_pools", False):
+                    prefetched = engine.prefetch_candidates(
+                        index, worklist, options.exploration_threshold)
             report.parallel_stats = engine.stats
             engine.close()
 
@@ -223,62 +248,70 @@ class FunctionMergingPass:
             if manager is not None:
                 manager.forget(merged.function)
 
-        position = 0
-        while position < len(worklist):
-            function = worklist[position]
-            position += 1
-            if function in consumed or function.parent is not module:
-                continue
-            answer = prefetched.get(function)
-            if answer is not None and prefetch_answer_valid(
-                    index, function, answer.candidates,
-                    options.exploration_threshold,
-                    removed_since_prefetch, added_since_prefetch,
-                    used_fallback=answer.used_fallback):
-                candidates = answer.candidates
-                engine.stats.prefetched_used += 1
-            else:
-                candidates = index.candidates_for(
-                    function, options.exploration_threshold, exclude=consumed)
-            best: Optional[MergedFunction] = None
-            best_decision: Optional[MergeDecision] = None
-            for candidate in candidates:
-                other = candidate.function
-                if other in consumed or other.parent is not module:
+        with maybe_span(registry, "merge.rank"):
+            position = 0
+            while position < len(worklist):
+                function = worklist[position]
+                position += 1
+                if function in consumed or function.parent is not module:
                     continue
-                attempt = self._attempt(merger, module, function, other, report,
-                                        cost_model, manager)
-                if attempt is None:
-                    continue
-                merged, decision = attempt
-                better = best_decision is None or decision.benefit > best_decision.benefit
-                if better:
-                    if best is not None:
-                        discard(best)
-                    best, best_decision = merged, decision
+                answer = prefetched.get(function)
+                if answer is not None and prefetch_answer_valid(
+                        index, function, answer.candidates,
+                        options.exploration_threshold,
+                        removed_since_prefetch, added_since_prefetch,
+                        used_fallback=answer.used_fallback):
+                    candidates = answer.candidates
+                    engine.stats.prefetched_used += 1
                 else:
-                    discard(merged)
+                    candidates = index.candidates_for(
+                        function, options.exploration_threshold,
+                        exclude=consumed)
+                best: Optional[MergedFunction] = None
+                best_decision: Optional[MergeDecision] = None
+                for candidate in candidates:
+                    other = candidate.function
+                    if other in consumed or other.parent is not module:
+                        continue
+                    attempt = self._attempt(merger, module, function, other,
+                                            report, cost_model, manager)
+                    if attempt is None:
+                        continue
+                    merged, decision = attempt
+                    if alignment_timer is not None:
+                        alignment_timer.observe(merged.stats.alignment_seconds)
+                        codegen_timer.observe(merged.stats.codegen_seconds)
+                    better = best_decision is None \
+                        or decision.benefit > best_decision.benefit
+                    if better:
+                        if best is not None:
+                            discard(best)
+                        best, best_decision = merged, decision
+                    else:
+                        discard(merged)
 
-            if best is not None and best_decision is not None and best_decision.profitable:
-                self._commit(module, best, report, manager)
-                consumed.add(best.first)
-                consumed.add(best.second)
-                index.remove(best.first)
-                index.remove(best.second)
-                removed_since_prefetch.add(best.first)
-                removed_since_prefetch.add(best.second)
-                original_sizes[best.function] = cost_model.function_size(
-                    best.function, manager)
-                if options.allow_remerge:
-                    index.update(best.function)
-                    worklist.append(best.function)
-                    added_since_prefetch.append(best.function)
-                report.profitable_merges += 1
-            elif best is not None:
-                discard(best)
+                if best is not None and best_decision is not None \
+                        and best_decision.profitable:
+                    self._commit(module, best, report, manager)
+                    consumed.add(best.first)
+                    consumed.add(best.second)
+                    index.remove(best.first)
+                    index.remove(best.second)
+                    removed_since_prefetch.add(best.first)
+                    removed_since_prefetch.add(best.second)
+                    original_sizes[best.function] = cost_model.function_size(
+                        best.function, manager)
+                    if options.allow_remerge:
+                        index.update(best.function)
+                        worklist.append(best.function)
+                        added_since_prefetch.append(best.function)
+                    report.profitable_merges += 1
+                elif best is not None:
+                    discard(best)
 
         if options.technique == "fmsa" and options.model_fmsa_residue:
-            self._apply_fmsa_residue(module, consumed, manager)
+            with maybe_span(registry, "merge.fmsa_residue"):
+                self._apply_fmsa_residue(module, consumed, manager)
 
         report.size_after = options.size_model.module_size(module)
         report.instructions_after = module.num_instructions()

@@ -1,0 +1,71 @@
+"""repro.obs — the pipeline's unified observability spine.
+
+One :class:`MetricsRegistry` per run holds every counter, gauge, histogram
+and timer the pipeline records, a phase-scoped span trace (wall-clock,
+nesting, per-phase peak memory), and exports the lot as Prometheus text
+exposition or a JSON snapshot.  The existing per-subsystem stats dataclasses
+(``SearchStats`` / ``AnalysisStats`` / ``StoreStats`` / ``ParallelStats``)
+stay as the stable views callers already use; the adapters here fold them
+into the registry so the future ``repro.service`` daemon can scrape one
+endpoint instead of four counter bags.
+
+See ``docs/observability.md`` for the registry API, the span taxonomy and
+the trend-gate workflow.
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    PHASE_TIMER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Timer,
+    as_registry,
+    maybe_span,
+)
+from .trace import SpanRecord, format_trace
+from .export import (
+    SNAPSHOT_SCHEMA,
+    merge_snapshot_into,
+    registry_snapshot,
+    to_prometheus_text,
+)
+from .adapters import (
+    attach_all,
+    observe_analysis_stats,
+    observe_merge_report,
+    observe_parallel_stats,
+    observe_pipeline_result,
+    observe_search_stats,
+    observe_store_stats,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "PHASE_TIMER",
+    "SNAPSHOT_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Timer",
+    "as_registry",
+    "attach_all",
+    "format_trace",
+    "maybe_span",
+    "merge_snapshot_into",
+    "observe_analysis_stats",
+    "observe_merge_report",
+    "observe_parallel_stats",
+    "observe_pipeline_result",
+    "observe_search_stats",
+    "observe_store_stats",
+    "registry_snapshot",
+    "to_prometheus_text",
+]

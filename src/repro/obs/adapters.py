@@ -1,0 +1,269 @@
+"""Adapters: fold the pipeline's existing stats dataclasses into a registry.
+
+``SearchStats``, ``AnalysisStats``, ``StoreStats`` and ``ParallelStats``
+remain the per-subsystem views their callers and tests consume — nothing
+about them changed.  These adapters are the bridge the other way: given any
+of those objects, they record the same counters as labeled metric families
+on a :class:`~repro.obs.MetricsRegistry`, so one registry ends up holding
+the whole run's telemetry in one exportable namespace.
+
+Everything here is duck-typed on the stats objects' public attributes (no
+imports from the stats modules), so :mod:`repro.obs` stays dependency-free
+and import-cycle-safe — it can be threaded through any layer.
+
+Fold points: :func:`observe_pipeline_result` is called exactly once per run
+by :func:`repro.harness.run_pipeline`, and it fans out to the per-subsystem
+folds below.  Callers driving :class:`repro.merge.FunctionMergingPass`
+directly can call the per-subsystem folds themselves — each ``observe_*``
+adds, so folding the same stats object twice double-counts, exactly like
+the ``combine_*`` helpers in :mod:`repro.harness.metrics`.
+"""
+
+from __future__ import annotations
+
+
+def observe_search_stats(registry, stats) -> None:
+    """Fold one :class:`~repro.search.stats.SearchStats` into ``registry``."""
+    if registry is None or stats is None:
+        return
+    strategy = stats.strategy or "unknown"
+    registry.counter(
+        "repro_search_queries_total",
+        help="candidates_for queries answered by the candidate index.",
+        strategy=strategy).inc(stats.queries)
+    registry.counter(
+        "repro_search_candidates_scanned_total",
+        help="Candidates scored against query fingerprints.",
+        strategy=strategy).inc(stats.candidates_scanned)
+    registry.counter(
+        "repro_search_candidates_returned_total",
+        help="Candidates returned to the merge loop.",
+        strategy=strategy).inc(stats.candidates_returned)
+    registry.counter(
+        "repro_search_population_available_total",
+        help="Candidates an exhaustive scan would have scored.",
+        strategy=strategy).inc(stats.population_available)
+    for op, count in (("insert", stats.inserts), ("remove", stats.removals),
+                      ("update", stats.updates)):
+        registry.counter(
+            "repro_search_index_mutations_total",
+            help="Incremental index maintenance operations after the build.",
+            strategy=strategy, op=op).inc(count)
+    registry.gauge(
+        "repro_search_scan_fraction",
+        help="Fraction of the exhaustive candidate-pair work this run did.",
+        merge_mode="max", strategy=strategy).set(stats.scan_fraction)
+
+
+def observe_analysis_stats(registry, stats) -> None:
+    """Fold one :class:`~repro.analysis.manager.AnalysisStats` into ``registry``."""
+    if registry is None or stats is None:
+        return
+    for result, count in (("hit", stats.hits), ("miss", stats.misses)):
+        registry.counter(
+            "repro_analysis_queries_total",
+            help="Analysis-manager queries by outcome.",
+            result=result).inc(count)
+    registry.counter(
+        "repro_analysis_invalidations_total",
+        help="Stale cache entries dropped on epoch mismatch.").inc(
+            stats.invalidations)
+    registry.counter(
+        "repro_analysis_preserved_total",
+        help="Entries re-stamped by a transform's preservation declaration."
+        ).inc(stats.preserved)
+    registry.counter(
+        "repro_analysis_primed_total",
+        help="Entries injected from outside (e.g. worker-pool results)."
+        ).inc(stats.primed)
+    for analysis, count in sorted(stats.computed_by_analysis.items()):
+        registry.counter(
+            "repro_analysis_computed_total",
+            help="Analyses actually recomputed, by analysis name.",
+            analysis=analysis).inc(count)
+    registry.gauge(
+        "repro_analysis_hit_ratio",
+        help="Fraction of analysis queries answered without recomputation.",
+        merge_mode="max").set(stats.hit_rate)
+
+
+def observe_store_stats(registry, stats) -> None:
+    """Fold one :class:`~repro.persist.StoreStats` into ``registry``."""
+    if registry is None or stats is None:
+        return
+    for result, count in (("hit", stats.hits), ("miss", stats.misses)):
+        registry.counter(
+            "repro_store_loads_total",
+            help="Artifact-store load attempts by outcome.",
+            result=result).inc(count)
+    registry.counter(
+        "repro_store_stores_total",
+        help="Records published to the artifact store.").inc(stats.stores)
+    registry.counter(
+        "repro_store_corrupt_records_total",
+        help="Records rejected as unreadable or semantically invalid."
+        ).inc(stats.corrupt_records)
+    registry.counter(
+        "repro_store_schema_mismatches_total",
+        help="Records rejected on schema-version mismatch.").inc(
+            stats.schema_mismatches)
+    registry.counter(
+        "repro_store_write_errors_total",
+        help="Failed artifact-store write attempts.").inc(stats.write_errors)
+    registry.counter(
+        "repro_store_evicted_total",
+        help="Records deleted by compact() garbage collection.").inc(
+            stats.evicted)
+    registry.gauge(
+        "repro_store_hit_ratio",
+        help="Fraction of store loads served from disk.",
+        merge_mode="max").set(stats.hit_rate)
+
+
+def observe_parallel_stats(registry, stats) -> None:
+    """Fold one :class:`~repro.parallel.stats.ParallelStats` into ``registry``."""
+    if registry is None or stats is None:
+        return
+    backend = stats.backend or "unknown"
+    registry.gauge(
+        "repro_parallel_workers",
+        help="Worker processes of the pool (max across merged engines).",
+        merge_mode="max", backend=backend).set(stats.workers)
+    registry.counter(
+        "repro_parallel_batches_total",
+        help="Worker-pool task batches dispatched.",
+        backend=backend).inc(stats.batches)
+    registry.counter(
+        "repro_parallel_functions_shipped_total",
+        help="Unique canonical texts serialized and shipped to workers.",
+        backend=backend).inc(stats.functions_shipped)
+    for artifact, computed, loaded in (
+            ("fingerprint", stats.fingerprints_computed,
+             stats.fingerprints_loaded),
+            ("signature", stats.signatures_computed,
+             stats.signatures_loaded)):
+        registry.counter(
+            "repro_parallel_artifacts_total",
+            help="Index artifacts derived by workers, by source.",
+            backend=backend, artifact=artifact, source="computed").inc(computed)
+        registry.counter(
+            "repro_parallel_artifacts_total",
+            help="Index artifacts derived by workers, by source.",
+            backend=backend, artifact=artifact, source="loaded").inc(loaded)
+    registry.counter(
+        "repro_parallel_queries_prefetched_total",
+        help="candidates_for queries answered ahead of the merge loop.",
+        backend=backend).inc(stats.queries_prefetched)
+    registry.counter(
+        "repro_parallel_prefetched_used_total",
+        help="Prefetched answers the merge loop actually consumed.",
+        backend=backend).inc(stats.prefetched_used)
+    registry.counter(
+        "repro_parallel_pairs_scored_total",
+        help="Candidate pairs alignment-scored by workers.",
+        backend=backend).inc(stats.pairs_scored)
+    registry.counter(
+        "repro_parallel_ship_seconds_total",
+        help="Wall-clock spent serializing and reconstructing IR.",
+        backend=backend).inc(stats.ship_seconds)
+    registry.counter(
+        "repro_parallel_worker_seconds_total",
+        help="Wall-clock spent inside worker task batches.",
+        backend=backend).inc(stats.worker_seconds)
+
+
+def observe_merge_report(registry, report) -> None:
+    """Fold one :class:`~repro.merge.pass_manager.MergeReport` into ``registry``.
+
+    Records the pass-level outcome counters plus the report's search /
+    persist / parallel stats.  (Called by :func:`observe_pipeline_result`;
+    call it directly only for reports produced outside ``run_pipeline``.)
+    """
+    if registry is None or report is None:
+        return
+    technique = report.technique
+    registry.counter(
+        "repro_merge_attempts_total",
+        help="Merge attempts evaluated by the pass.",
+        technique=technique).inc(report.attempts)
+    registry.counter(
+        "repro_merge_profitable_total",
+        help="Profitable merges committed by the pass.",
+        technique=technique).inc(report.profitable_merges)
+    registry.counter(
+        "repro_merge_alignment_seconds_total",
+        help="Wall-clock spent aligning candidate pairs.",
+        technique=technique).inc(report.alignment_seconds)
+    registry.counter(
+        "repro_merge_codegen_seconds_total",
+        help="Wall-clock spent generating merged bodies.",
+        technique=technique).inc(report.codegen_seconds)
+    registry.counter(
+        "repro_merge_alignment_dp_cells_total",
+        help="Alignment dynamic-programming cells filled.",
+        technique=technique).inc(report.total_alignment_cells)
+    registry.gauge(
+        "repro_merge_size_reduction_percent",
+        help="Object-size reduction of the merge pass, percent.",
+        merge_mode="last", technique=technique).set(report.reduction_percent)
+    observe_search_stats(registry, report.search_stats)
+    observe_store_stats(registry, report.persist_stats)
+    observe_parallel_stats(registry, report.parallel_stats)
+
+
+def observe_pipeline_result(registry, result) -> None:
+    """Fold one :class:`~repro.harness.pipeline.PipelineResult` into ``registry``.
+
+    The single per-run fold point ``run_pipeline`` uses: pipeline-level
+    sizes and timings, the merge report (when merging ran) and the
+    analysis-manager counters.  The store counters come through the report
+    when there is one (same live object) and directly otherwise, so they
+    are folded exactly once either way.
+    """
+    if registry is None or result is None:
+        return
+    technique = result.technique
+    registry.gauge(
+        "repro_pipeline_baseline_size",
+        help="Module size before merging (size-model units).",
+        merge_mode="last", technique=technique).set(result.baseline_size)
+    registry.gauge(
+        "repro_pipeline_final_size",
+        help="Module size after merging (size-model units).",
+        merge_mode="last", technique=technique).set(result.final_size)
+    registry.gauge(
+        "repro_pipeline_reduction_percent",
+        help="End-to-end object-size reduction, percent.",
+        merge_mode="last", technique=technique).set(result.reduction_percent)
+    registry.counter(
+        "repro_pipeline_baseline_compile_seconds_total",
+        help="Wall-clock of the baseline compile (non-merging) stage.",
+        technique=technique).inc(result.baseline_compile_seconds)
+    registry.counter(
+        "repro_pipeline_merge_seconds_total",
+        help="Wall-clock of the function-merging stage.",
+        technique=technique).inc(result.merge_seconds)
+    if result.peak_merge_bytes:
+        registry.gauge(
+            "repro_pipeline_peak_merge_bytes",
+            help="Peak traced memory while the merge pass ran.",
+            merge_mode="max", technique=technique).set(result.peak_merge_bytes)
+    if result.report is not None:
+        observe_merge_report(registry, result.report)
+    elif result.persist_stats is not None:
+        observe_store_stats(registry, result.persist_stats)
+    observe_analysis_stats(registry, result.analysis_stats)
+
+
+def attach_all(registry, *, analysis_manager=None, artifact_store=None,
+               candidate_index=None) -> None:
+    """Live-attach ``registry`` to whichever instrumented components exist.
+
+    Convenience for callers wiring components by hand; ``run_pipeline`` and
+    the merge pass call the individual ``attach_metrics`` hooks themselves.
+    """
+    if registry is None:
+        return
+    for component in (analysis_manager, artifact_store, candidate_index):
+        if component is not None:
+            component.attach_metrics(registry)

@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Two renderings of one :class:`~repro.obs.MetricsRegistry`:
+
+* :func:`to_prometheus_text` — the `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ a scrape
+  endpoint serves (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket``
+  series for histograms).  Timers export as histograms of seconds, matching
+  the ``_seconds`` naming convention their families already follow.
+* :func:`registry_snapshot` / :func:`merge_snapshot_into` — a JSON-safe
+  snapshot of every family, sample and span, and its inverse fold.  This is
+  the wire format :mod:`repro.parallel` workers ship their per-batch
+  registries back in, and what ``PipelineResult.metrics.snapshot()`` hands
+  to anything that wants the run's telemetry as data (the future
+  ``repro.service`` daemon, the trend tooling, tests).
+
+Both renderings are deterministic: families sort by name, samples by label
+values, so identical registries export identical bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+#: Version tag of the snapshot envelope; bump on incompatible shape changes
+#: so a parent never mis-folds a snapshot from a different code version.
+SNAPSHOT_SCHEMA = 1
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample-value rendering: integers stay integral."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _render_labels(names, values, extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(registry) -> str:
+    """Render ``registry`` in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        exposition_kind = "histogram" if family.kind == "timer" else family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {exposition_kind}")
+        for values, child in family.samples():
+            if family.kind in ("counter", "gauge"):
+                labels = _render_labels(family.label_names, values)
+                lines.append(f"{family.name}{labels} "
+                             f"{_format_value(child.value)}")
+                continue
+            for bound, cumulative in child.cumulative_buckets():
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                labels = _render_labels(family.label_names, values,
+                                        extra=f'le="{le}"')
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            labels = _render_labels(family.label_names, values)
+            lines.append(f"{family.name}_sum{labels} "
+                         f"{_format_value(child.sum)}")
+            lines.append(f"{family.name}_count{labels} {child.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_snapshot(registry) -> Dict[str, Any]:
+    """A JSON-serialisable snapshot of every family, sample and span."""
+    families = []
+    for family in registry.families():
+        families.append({
+            "name": family.name,
+            "kind": family.kind,
+            "help": family.help,
+            "label_names": list(family.label_names),
+            "buckets": list(family.buckets)
+            if family.buckets is not None else None,
+            "merge_mode": family.merge_mode,
+            "samples": [{"labels": list(values), **child._sample()}
+                        for values, child in family.samples()],
+        })
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "metrics": families,
+        "spans": [record.as_dict() for record in registry.trace],
+    }
+
+
+def merge_snapshot_into(registry, snapshot: Dict[str, Any]) -> None:
+    """Fold a :func:`registry_snapshot` into ``registry`` (deterministic).
+
+    The inverse of :func:`registry_snapshot` up to merging: restoring a
+    snapshot into a fresh registry reproduces it exactly; restoring into a
+    populated one merges like :meth:`~repro.obs.MetricsRegistry.merge`.
+    Snapshots from an incompatible schema raise — a parent must never
+    silently mis-fold worker telemetry.
+    """
+    from .trace import SpanRecord
+
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise ValueError(f"unsupported metrics snapshot schema "
+                         f"{snapshot.get('schema')!r} "
+                         f"(expected {SNAPSHOT_SCHEMA})")
+    for entry in snapshot.get("metrics", ()):
+        family = registry.family(
+            entry["name"], entry["kind"], help=entry.get("help", ""),
+            label_names=entry.get("label_names", ()),
+            buckets=entry.get("buckets"),
+            merge_mode=entry.get("merge_mode", "max"))
+        for sample in entry.get("samples", ()):
+            labels = dict(zip(family.label_names, sample["labels"]))
+            family.labels(**labels)._restore(sample)
+    base = len(registry.trace)
+    for position, span in enumerate(snapshot.get("spans", ())):
+        registry.trace.append(SpanRecord(
+            name=span["name"], path=tuple(span["path"]),
+            depth=int(span["depth"]), start=float(span["start"]),
+            seconds=float(span["seconds"]),
+            peak_bytes=int(span["peak_bytes"]), index=base + position))

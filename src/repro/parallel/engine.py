@@ -69,10 +69,18 @@ class ParallelEngine:
 
     def __init__(self, config: Union[str, ParallelConfig, None] = None,
                  pool: Optional[WorkerPool] = None,
-                 stats: Optional[ParallelStats] = None) -> None:
+                 stats: Optional[ParallelStats] = None,
+                 metrics=None) -> None:
         self.pool = pool if pool is not None else make_pool(config)
         self.stats = stats or ParallelStats(backend=self.pool.name,
                                             workers=self.pool.workers)
+        #: Optional repro.obs.MetricsRegistry.  When attached, worker tasks
+        #: build a registry per batch (timers, parse counters, a
+        #: ``worker.<task>`` span), ship it back as a JSON snapshot in their
+        #: result, and :meth:`_run` folds every snapshot into this registry
+        #: in batch order — the per-worker registries merge exactly as
+        #: deterministically as the per-worker stats dataclasses do.
+        self.metrics = metrics
         # Functions whose canonical text was memoized for shipping; the memo
         # is released on close() so a run never pins whole-module IR text
         # beyond the engine's lifetime.
@@ -101,6 +109,14 @@ class ParallelEngine:
         started = time.perf_counter()
         results = self.pool.run(task, shared, batches)
         self.stats.worker_seconds += time.perf_counter() - started
+        if self.metrics is not None:
+            # Batch results arrive in batch order whatever the completion
+            # order, so folding the shipped snapshots here is deterministic.
+            for result in results:
+                snapshot = result.get("obs") if isinstance(result, dict) \
+                    else None
+                if snapshot:
+                    self.metrics.merge_snapshot(snapshot)
         return results
 
     @staticmethod
@@ -154,6 +170,7 @@ class ParallelEngine:
             "strategy": asdict(effective),
             "store_root": str(store.root) if store is not None else None,
             "want_signatures": want_signatures,
+            "collect_obs": self.metrics is not None,
         }
         batches = make_batches([(digest, texts[digest]) for digest in digests],
                                self.pool.workers, self.config_batches())
@@ -261,6 +278,7 @@ class ParallelEngine:
             "min_size": index.min_size,
             "threshold": threshold,
             "population": population,
+            "collect_obs": self.metrics is not None,
         }
         batches = make_batches([function.name for function in queries],
                                self.pool.workers, self.config_batches())

@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
+from ..obs import MetricsRegistry, maybe_span
+
 from ..analysis.fingerprint import Fingerprint
 from ..analysis.size_model import get_target
 from ..ir.function import Function
@@ -72,6 +74,17 @@ def get_task(name: str) -> Task:
                        f"{', '.join(sorted(_TASKS))}") from None
 
 
+def _batch_registry(context: dict) -> Optional[MetricsRegistry]:
+    """A fresh per-batch worker registry, or None when telemetry is off.
+
+    Engines opt in via ``shared["collect_obs"]``.  Each batch records into
+    its own registry and ships it back as a JSON snapshot under the result's
+    ``"obs"`` key; the parent engine folds snapshots in batch order, so the
+    merged parent registry is deterministic however workers were scheduled.
+    """
+    return MetricsRegistry() if context.get("collect_obs") else None
+
+
 def ship_function(function: Function) -> Tuple[str, str, str]:
     """``(name, digest, canonical text)`` of one function, ready to ship.
 
@@ -101,6 +114,7 @@ def _artifacts_prepare(shared: dict) -> dict:
         "want_signatures": bool(shared.get("want_signatures")),
         "hash_params": _signature_hash_family(strategy),
         "config_key": signature_config_key(strategy),
+        "collect_obs": bool(shared.get("collect_obs")),
     }
 
 
@@ -110,46 +124,63 @@ def _artifacts_run(context: dict, batch: List[Tuple[str, str]]) -> dict:
     want_signatures = context["want_signatures"]
     hash_params = context["hash_params"]
     config_key = context["config_key"]
+    obs = _batch_registry(context)
+    if obs is not None and store is not None:
+        store.attach_metrics(obs)
+    parsed = 0
     artifacts: Dict[str, dict] = {}
-    for digest, text in batch:
-        function: Optional[Function] = None
-        fingerprint: Optional[Fingerprint] = None
-        fingerprint_loaded = False
-        if store is not None:
-            payload = store.load(f"{ANALYSIS_KIND_PREFIX}fingerprint", digest)
-            if payload is not None:
-                try:
-                    fingerprint = _decode_fingerprint(payload)
-                    fingerprint_loaded = True
-                except (KeyError, TypeError, ValueError):
-                    store.note_invalid_payload()
-        if fingerprint is None:
-            function = parse_canonical_function(text, name=digest)
-            fingerprint = Fingerprint.of(function)
-        signature: Optional[List[int]] = None
-        signature_loaded = False
-        if want_signatures:
+    with maybe_span(obs, f"worker.{INDEX_ARTIFACTS_TASK}"):
+        for digest, text in batch:
+            function: Optional[Function] = None
+            fingerprint: Optional[Fingerprint] = None
+            fingerprint_loaded = False
             if store is not None:
-                payload = store.load("minhash_signature",
-                                     f"{digest}.{config_key}")
+                payload = store.load(f"{ANALYSIS_KIND_PREFIX}fingerprint",
+                                     digest)
                 if payload is not None:
-                    if valid_signature_payload(payload, len(hash_params)):
-                        signature = list(payload)
-                        signature_loaded = True
-                    else:
+                    try:
+                        fingerprint = _decode_fingerprint(payload)
+                        fingerprint_loaded = True
+                    except (KeyError, TypeError, ValueError):
                         store.note_invalid_payload()
-            if signature is None:
-                if function is None:
-                    function = parse_canonical_function(text, name=digest)
-                signature = list(compute_minhash_signature(
-                    function, fingerprint, strategy, hash_params))
-        artifacts[digest] = {
-            "fingerprint": _encode_fingerprint(fingerprint),
-            "fingerprint_loaded": fingerprint_loaded,
-            "signature": signature,
-            "signature_loaded": signature_loaded,
-        }
-    return {"artifacts": artifacts}
+            if fingerprint is None:
+                function = parse_canonical_function(text, name=digest)
+                parsed += 1
+                fingerprint = Fingerprint.of(function)
+            signature: Optional[List[int]] = None
+            signature_loaded = False
+            if want_signatures:
+                if store is not None:
+                    payload = store.load("minhash_signature",
+                                         f"{digest}.{config_key}")
+                    if payload is not None:
+                        if valid_signature_payload(payload, len(hash_params)):
+                            signature = list(payload)
+                            signature_loaded = True
+                        else:
+                            store.note_invalid_payload()
+                if signature is None:
+                    if function is None:
+                        function = parse_canonical_function(text, name=digest)
+                        parsed += 1
+                    signature = list(compute_minhash_signature(
+                        function, fingerprint, strategy, hash_params))
+            artifacts[digest] = {
+                "fingerprint": _encode_fingerprint(fingerprint),
+                "fingerprint_loaded": fingerprint_loaded,
+                "signature": signature,
+                "signature_loaded": signature_loaded,
+            }
+    result: dict = {"artifacts": artifacts}
+    if obs is not None:
+        if store is not None:
+            store.attach_metrics(None)
+        obs.counter(
+            "repro_worker_functions_parsed_total",
+            help="Functions reconstructed from canonical text in workers.",
+            task=INDEX_ARTIFACTS_TASK).inc(parsed)
+        result["obs"] = obs.snapshot()
+    return result
 
 
 register_task(INDEX_ARTIFACTS_TASK, _artifacts_prepare, _artifacts_run)
@@ -215,6 +246,7 @@ def _candidates_prepare(shared: dict) -> dict:
         "index": index,
         "by_name": {shim.name: shim for shim in shims},
         "threshold": shared["threshold"],
+        "collect_obs": bool(shared.get("collect_obs")),
     }
 
 
@@ -225,13 +257,17 @@ def _candidates_run(context: dict, batch: List[str]) -> dict:
     stats: SearchStats = index.stats
     before = (stats.queries, stats.candidates_scanned,
               stats.candidates_returned, stats.population_available)
+    obs = _batch_registry(context)
+    if obs is not None:
+        index.attach_metrics(obs)
     answers: Dict[str, Tuple[List[Tuple[str, int, float]], bool]] = {}
-    for name in batch:
-        ranked = index.candidates_for(by_name[name], threshold)
-        answers[name] = ([(candidate.function.name, candidate.distance,
-                           candidate.similarity) for candidate in ranked],
-                         index.last_query_used_fallback)
-    return {
+    with maybe_span(obs, f"worker.{CANDIDATES_TASK}"):
+        for name in batch:
+            ranked = index.candidates_for(by_name[name], threshold)
+            answers[name] = ([(candidate.function.name, candidate.distance,
+                               candidate.similarity) for candidate in ranked],
+                             index.last_query_used_fallback)
+    result: dict = {
         "answers": answers,
         # Per-batch stats *delta*: the worker index accumulates across the
         # batches one worker serves, so absolute counters would double-count
@@ -244,6 +280,10 @@ def _candidates_run(context: dict, batch: List[str]) -> dict:
             "population_available": stats.population_available - before[3],
         },
     }
+    if obs is not None:
+        index.attach_metrics(None)
+        result["obs"] = obs.snapshot()
+    return result
 
 
 register_task(CANDIDATES_TASK, _candidates_prepare, _candidates_run)

@@ -118,6 +118,30 @@ class ArtifactStore:
         #: only the parent process ever publishes records.
         self.read_only = read_only
         self._sequence = 0
+        #: Optional repro.obs.MetricsRegistry (see :meth:`attach_metrics`):
+        #: when attached, load/store calls time themselves into the
+        #: ``repro_store_io_seconds`` timer family.
+        self._metrics = None
+        self._io_timers = None
+
+    def attach_metrics(self, registry) -> None:
+        """Record store I/O timings into ``registry``.
+
+        Purely observational — payloads, hit/miss behaviour and the
+        :class:`StoreStats` counters are identical with or without a
+        registry.  Passing ``None`` detaches.
+        """
+        self._metrics = registry
+        if registry is None:
+            self._io_timers = None
+            return
+        help_text = "Wall-clock of artifact-store I/O, by operation."
+        self._io_timers = {
+            "load": registry.timer("repro_store_io_seconds", help=help_text,
+                                   op="load"),
+            "store": registry.timer("repro_store_io_seconds", help=help_text,
+                                    op="store"),
+        }
 
     # ---------------------------------------------------------------- layout
     def path_for(self, kind: str, digest: str) -> Path:
@@ -135,6 +159,12 @@ class ArtifactStore:
         Any defect — absent file, unreadable file, invalid JSON, wrong
         envelope, schema mismatch, mis-filed record — is a miss.
         """
+        if self._io_timers is None:
+            return self._load(kind, digest)
+        with self._io_timers["load"].time():
+            return self._load(kind, digest)
+
+    def _load(self, kind: str, digest: str) -> Optional[Any]:
         path = self.path_for(kind, digest)
         try:
             text = path.read_text(encoding="utf-8")
@@ -171,6 +201,12 @@ class ArtifactStore:
         """Persist ``payload`` under ``(kind, digest)``; False on write failure."""
         if self.read_only:
             return False
+        if self._io_timers is None:
+            return self._store(kind, digest, payload)
+        with self._io_timers["store"].time():
+            return self._store(kind, digest, payload)
+
+    def _store(self, kind: str, digest: str, payload: Any) -> bool:
         path = self.path_for(kind, digest)
         record = {
             "schema": self.schema_version,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import time
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -103,11 +104,35 @@ class CandidateIndex(ABC):
         #: caching answers across index mutations must account for (see
         #: ``repro.merge.pass_manager.prefetch_answer_valid``).
         self.last_query_used_fallback = False
+        #: Optional repro.obs hooks (see :meth:`attach_metrics`); resolved to
+        #: concrete metric children once so queries pay no registry lookups.
+        self._query_timer = None
+        self._fallback_counter = None
         self.fingerprints: Dict[Function, Fingerprint] = {}
         for function in module.defined_functions():
             # Initial build: populate without touching the maintenance stats,
             # so inserts/removals/updates count only incremental churn.
             self._index_function(function)
+
+    def attach_metrics(self, registry) -> None:
+        """Record query timings and fallback scans into ``registry``.
+
+        Purely observational — rankings, stats counters and fallback
+        behaviour are identical with or without a registry.  Passing
+        ``None`` detaches.
+        """
+        if registry is None:
+            self._query_timer = None
+            self._fallback_counter = None
+            return
+        self._query_timer = registry.timer(
+            "repro_search_query_seconds",
+            help="Wall-clock of candidates_for queries, by strategy.",
+            strategy=self.strategy.name)
+        self._fallback_counter = registry.counter(
+            "repro_search_fallback_queries_total",
+            help="Queries that fell back to a full population scan.",
+            strategy=self.strategy.name)
 
     # ------------------------------------------------------------ population
     def __len__(self) -> int:
@@ -180,6 +205,8 @@ class CandidateIndex(ABC):
         if fingerprint is None or threshold <= 0:
             return []
         exclude = exclude or set()
+        query_started = time.perf_counter() if self._query_timer is not None \
+            else 0.0
         floor = self.strategy.similarity_floor
         pairs = list(self._candidate_pool(function, fingerprint, threshold, exclude))
         ranked = rank_candidates(fingerprint, pairs, threshold, floor)
@@ -207,6 +234,10 @@ class CandidateIndex(ABC):
                 scanned += len(extra)
         self.stats.record_query(scanned=scanned, returned=len(ranked),
                                 population=max(0, len(self.fingerprints) - 1))
+        if self._query_timer is not None:
+            self._query_timer.observe(time.perf_counter() - query_started)
+            if self.last_query_used_fallback:
+                self._fallback_counter.inc()
         return ranked
 
     def _available_candidates(self, function: Function, exclude: set) -> int:

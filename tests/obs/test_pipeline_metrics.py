@@ -1,0 +1,169 @@
+"""The telemetry spine threaded through the pipeline, end to end.
+
+The contract under test is the package's first design constraint: metrics
+only observe.  A run with a registry attached must produce bit-identical
+merge reports to a run without one, in every execution mode — and the
+registry must come back holding the phases, the folded stats counters and
+the per-worker telemetry.
+"""
+
+import pytest
+
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.harness.pipeline import run_pipeline
+from repro.obs import PHASE_TIMER, MetricsRegistry
+
+SIZE = 48
+
+
+def run(metrics=None, **kwargs):
+    module = search_workload(SIZE, seed=7)
+    return run_pipeline(module, "obs-test", technique="salssa", threshold=1,
+                        metrics=metrics, **kwargs)
+
+
+class TestBitIdentical:
+    def test_reports_identical_with_and_without_telemetry(self):
+        with_metrics = run(metrics=True)
+        without = run()
+        assert without.metrics is None
+        assert with_metrics.metrics is not None
+        assert merge_report_digest(with_metrics.report) == \
+            merge_report_digest(without.report)
+        assert with_metrics.final_size == without.final_size
+
+    def test_parallel_run_identical_with_telemetry(self):
+        reference = run(search_strategy="minhash_lsh")
+        parallel = run(metrics=True, search_strategy="minhash_lsh",
+                       parallel_workers=2, parallel_backend="process")
+        assert merge_report_digest(parallel.report) == \
+            merge_report_digest(reference.report)
+
+
+class TestPhaseReconciliation:
+    def test_span_totals_match_pipeline_timings(self):
+        result = run(metrics=True)
+        registry = result.metrics
+        # The "merge" span wraps exactly the timed region of merge_seconds,
+        # and "baseline_compile" wraps the baseline_compile stopwatch.
+        assert registry.phase_seconds("merge") == \
+            pytest.approx(result.merge_seconds, abs=0.05)
+        assert registry.phase_seconds("baseline_compile") == \
+            pytest.approx(result.baseline_compile_seconds, abs=0.05)
+
+    def test_expected_phases_present_and_nested(self):
+        result = run(metrics=True)
+        names = {record.name for record in result.metrics.trace}
+        assert {"baseline_compile", "baseline_compile.mem2reg",
+                "baseline_compile.simplify", "baseline_compile.verify",
+                "baseline_compile.emit", "merge", "merge.index_build",
+                "merge.rank"} <= names
+        rank = result.metrics.phase_records("merge.rank")[0]
+        assert rank.path == ("merge", "merge.rank")
+        # Spans are queryable as plain metrics too.
+        assert result.metrics.timer(PHASE_TIMER, phase="merge").count == 1
+
+    def test_attempt_timers_record_per_attempt(self):
+        result = run(metrics=True)
+        timer = result.metrics.timer("repro_merge_alignment_seconds",
+                                     technique="salssa")
+        assert timer.count == result.report.attempts
+        assert timer.sum == pytest.approx(result.report.alignment_seconds,
+                                          abs=1e-6)
+
+
+class TestAdapterFolds:
+    def test_stats_views_and_registry_agree(self):
+        result = run(metrics=True)
+        registry = result.metrics
+        stats = result.report.search_stats
+        strategy = stats.strategy
+        assert registry.counter("repro_search_queries_total",
+                                strategy=strategy).value == stats.queries
+        assert registry.counter("repro_merge_attempts_total",
+                                technique="salssa").value == \
+            result.report.attempts
+        analysis = result.analysis_stats
+        assert registry.counter("repro_analysis_queries_total",
+                                result="hit").value == analysis.hits
+
+    def test_store_folded_once_despite_aliasing(self, tmp_path):
+        # PipelineResult.persist_stats and report.persist_stats are the same
+        # live object; the fold point must count it once, not twice.
+        result = run(metrics=True, cache_dir=str(tmp_path))
+        assert result.persist_stats is result.report.persist_stats
+        stats = result.persist_stats
+        registry = result.metrics
+        hits = registry.counter("repro_store_loads_total", result="hit").value
+        misses = registry.counter("repro_store_loads_total",
+                                  result="miss").value
+        assert hits == stats.hits
+        assert misses == stats.misses
+
+    def test_live_hooks_time_analysis_and_store(self, tmp_path):
+        result = run(metrics=True, cache_dir=str(tmp_path))
+        registry = result.metrics
+        io_count = registry.timer("repro_store_io_seconds", op="load").count \
+            + registry.timer("repro_store_io_seconds", op="store").count
+        assert io_count > 0
+        compute = registry.family("repro_analysis_compute_seconds", "timer",
+                                  label_names=("analysis",))
+        assert sum(child.count for _, child in compute.samples()) > 0
+
+    def test_accumulating_registry_across_runs(self):
+        registry = MetricsRegistry()
+        run(metrics=registry)
+        run(metrics=registry)
+        assert registry.counter("repro_merge_attempts_total",
+                                technique="salssa").value == \
+            2 * run(metrics=True).metrics.counter(
+                "repro_merge_attempts_total", technique="salssa").value
+
+
+class TestWorkerTelemetry:
+    def test_process_workers_ship_registries_back(self):
+        result = run(metrics=True, search_strategy="minhash_lsh",
+                     parallel_workers=2, parallel_backend="process")
+        registry = result.metrics
+        names = {record.name for record in registry.trace}
+        assert "worker.index_artifacts" in names
+        assert "worker.candidates" in names
+        parsed = registry.counter("repro_worker_functions_parsed_total",
+                                  task="index_artifacts").value
+        assert parsed > 0
+
+    def test_worker_counters_deterministic_across_runs(self):
+        def worker_lines(result):
+            return sorted(
+                line for line in result.metrics.to_prometheus().splitlines()
+                if line.startswith(("repro_worker_functions_parsed_total",
+                                    "repro_search_query_seconds_count")))
+        first = run(metrics=True, search_strategy="minhash_lsh",
+                    parallel_workers=2, parallel_backend="process")
+        second = run(metrics=True, search_strategy="minhash_lsh",
+                     parallel_workers=2, parallel_backend="process")
+        assert worker_lines(first) == worker_lines(second)
+
+    def test_serial_backend_short_circuits_worker_telemetry(self):
+        # The inline pool computes everything in the parent by design, so a
+        # serial-backend run records parent-side phases but no worker spans.
+        result = run(metrics=True, search_strategy="minhash_lsh",
+                     parallel_workers=2, parallel_backend="serial")
+        names = {record.name for record in result.metrics.trace}
+        assert "merge.prefetch" in names
+        assert "worker.index_artifacts" not in names
+
+
+class TestExportSurface:
+    def test_pipeline_registry_exports_cleanly(self):
+        result = run(metrics=True)
+        text = result.metrics.to_prometheus()
+        assert "# TYPE repro_phase_seconds histogram" in text
+        assert "repro_pipeline_baseline_compile_seconds_total" in text
+        snapshot = result.metrics.snapshot()
+        restored = MetricsRegistry().merge_snapshot(snapshot)
+        assert restored.to_prometheus() == text
+
+    def test_memory_measurement_still_works_with_telemetry(self):
+        result = run(metrics=True, measure_memory=True)
+        assert result.peak_merge_bytes > 0

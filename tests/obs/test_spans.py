@@ -1,0 +1,122 @@
+"""Phase-scoped span tracing: nesting, timing, peak memory, no-op guard."""
+
+import tracemalloc
+
+from repro.obs import PHASE_TIMER, MetricsRegistry, format_trace, maybe_span
+from repro.harness.metrics import measure_peak_memory
+
+
+class TestSpanNesting:
+    def test_paths_and_depths(self):
+        registry = MetricsRegistry()
+        with registry.span("merge"):
+            with registry.span("merge.rank"):
+                pass
+            with registry.span("merge.codegen"):
+                pass
+        names = [record.name for record in registry.trace]
+        # Children complete before their parent.
+        assert names == ["merge.rank", "merge.codegen", "merge"]
+        rank = registry.phase_records("merge.rank")[0]
+        assert rank.path == ("merge", "merge.rank")
+        assert rank.depth == 1
+        outer = registry.phase_records("merge")[0]
+        assert outer.path == ("merge",) and outer.depth == 0
+
+    def test_children_sum_within_parent(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                sum(range(10_000))
+        assert registry.phase_seconds("inner") <= \
+            registry.phase_seconds("outer")
+
+    def test_spans_feed_the_phase_timer_family(self):
+        registry = MetricsRegistry()
+        with registry.span("merge"):
+            pass
+        with registry.span("merge"):
+            pass
+        timer = registry.timer(PHASE_TIMER, phase="merge")
+        assert timer.count == 2
+        assert timer.sum == registry.phase_seconds("merge")
+
+    def test_format_trace_is_indented(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        text = format_trace(registry.trace)
+        assert "outer" in text and "inner" in text
+
+
+class TestSpanMemory:
+    def test_no_tracing_means_zero_peaks(self):
+        assert not tracemalloc.is_tracing()
+        registry = MetricsRegistry()
+        with registry.span("phase"):
+            list(range(1000))
+        assert registry.trace[0].peak_bytes == 0
+
+    def test_owned_tracing_records_per_phase_peaks(self):
+        registry = MetricsRegistry(trace_memory=True)
+        try:
+            with registry.span("big"):
+                data = [0] * 100_000
+                del data
+            with registry.span("small"):
+                pass
+            big = registry.phase_records("big")[0]
+            small = registry.phase_records("small")[0]
+            assert big.peak_bytes > 100_000 * 8 // 2
+            # Owned tracing resets the peak between spans, so the small
+            # phase must not inherit the big phase's watermark.
+            assert small.peak_bytes < big.peak_bytes
+        finally:
+            registry.close()
+        assert not tracemalloc.is_tracing()
+
+    def test_child_peak_bubbles_to_parent(self):
+        registry = MetricsRegistry(trace_memory=True)
+        try:
+            with registry.span("outer"):
+                with registry.span("inner"):
+                    data = [0] * 50_000
+                    del data
+            inner = registry.phase_records("inner")[0]
+            outer = registry.phase_records("outer")[0]
+            assert outer.peak_bytes >= inner.peak_bytes > 0
+        finally:
+            registry.close()
+
+    def test_external_tracing_is_never_clobbered(self):
+        """Spans inside measure_peak_memory must not reset its peak."""
+        registry = MetricsRegistry()  # does NOT own tracemalloc
+
+        def workload():
+            with registry.span("phase"):
+                data = [0] * 100_000
+                del data
+            return "done"
+
+        result, peak = measure_peak_memory(workload)
+        assert result == "done"
+        # The outer Figure-22-style measurement still sees the allocation
+        # made inside the span...
+        assert peak > 100_000 * 8 // 2
+        # ...and the span reported the same global watermark.
+        assert registry.trace[0].peak_bytes > 0
+        assert not tracemalloc.is_tracing()
+
+
+class TestMaybeSpan:
+    def test_none_registry_is_a_noop(self):
+        with maybe_span(None, "anything"):
+            value = 1 + 1
+        assert value == 2
+
+    def test_real_registry_records(self):
+        registry = MetricsRegistry()
+        with maybe_span(registry, "phase"):
+            pass
+        assert registry.phase_records("phase")
