@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Render ``benchmarks/trend.jsonl`` as a static HTML trend report.
+
+``check_trend.py`` *gates* on the newest row of each series; this script is
+the human-facing half of the loop: one self-contained HTML page (no external
+assets, stdlib only) with an inline-SVG sparkline per ``(series, metric)``,
+the latest value, and the commit stamps, so a reviewer can see *how* a
+metric moved across commits instead of only whether it just regressed.
+
+CI runs it after the smoke benches and uploads the page as a build
+artifact::
+
+    REPRO_TREND=1 REPRO_SMOKE=1 python -m pytest benchmarks/ ...
+    python benchmarks/plot_trend.py --out trend.html
+
+Series grouping reuses ``check_trend``'s policies, so both tools agree on
+what a series is; metrics without a policy are still plotted (advisory
+charts beat silent omission).
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import os
+import sys
+from typing import Dict, List, Tuple
+
+from check_trend import (DEFAULT_TREND, POLICIES, describe_series, load_rows,
+                         series_key)
+
+#: Row fields that are identity/bookkeeping, never chartable metrics.
+NON_METRICS = {"bench", "commit", "unix_time"}
+
+SPARK_WIDTH = 260
+SPARK_HEIGHT = 48
+PAD = 6
+
+PAGE_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em;
+     border-bottom: 1px solid #ccd; padding-bottom: 0.2em; }
+.charts { display: flex; flex-wrap: wrap; gap: 1em; }
+.chart { border: 1px solid #dde; border-radius: 6px; padding: 0.6em 0.8em;
+         background: #fafaff; }
+.chart .name { font-weight: 600; font-size: 0.85em; }
+.chart .latest { font-size: 0.8em; color: #456; }
+.chart .latest b { color: #1a1a2e; }
+.meta { color: #678; font-size: 0.8em; }
+svg polyline { fill: none; stroke: #4464ad; stroke-width: 1.5; }
+svg circle { fill: #bb3e4e; }
+"""
+
+
+def sparkline(values: List[float]) -> str:
+    """An inline SVG sparkline of ``values`` (newest point highlighted)."""
+    if len(values) == 1:
+        values = values * 2  # a single row still draws a flat line
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    step = (SPARK_WIDTH - 2 * PAD) / (len(values) - 1)
+    points = [
+        (PAD + index * step,
+         SPARK_HEIGHT - PAD - (value - lo) / span * (SPARK_HEIGHT - 2 * PAD))
+        for index, value in enumerate(values)]
+    polyline = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+    last_x, last_y = points[-1]
+    return (f'<svg width="{SPARK_WIDTH}" height="{SPARK_HEIGHT}" '
+            f'viewBox="0 0 {SPARK_WIDTH} {SPARK_HEIGHT}">'
+            f'<polyline points="{polyline}"/>'
+            f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5"/></svg>')
+
+
+def metric_values(history: List[dict], metric: str) -> List[float]:
+    return [row[metric] for row in history
+            if isinstance(row.get(metric), (int, float))
+            and not isinstance(row.get(metric), bool)]
+
+
+def render(rows: List[dict]) -> str:
+    series: Dict[Tuple, List[dict]] = {}
+    for row in rows:
+        policy = POLICIES.get(row["bench"])
+        if policy is None:
+            key = (row["bench"],)
+        else:
+            key = series_key(row, policy)
+        series.setdefault(key, []).append(row)
+
+    sections: List[str] = []
+    for key in sorted(series, key=repr):
+        history = series[key]
+        newest = history[-1]
+        policy = POLICIES.get(key[0])
+        context_fields = set(policy.context) if policy is not None else set()
+        metrics = sorted(name for name in newest
+                         if name not in NON_METRICS
+                         and name not in context_fields)
+        charts: List[str] = []
+        for metric in metrics:
+            values = metric_values(history, metric)
+            if not values:
+                # Non-numeric (e.g. digests_match booleans): show as text.
+                charts.append(
+                    f'<div class="chart"><div class="name">'
+                    f'{html.escape(metric)}</div><div class="latest">latest: '
+                    f'<b>{html.escape(repr(newest.get(metric)))}</b></div></div>')
+                continue
+            charts.append(
+                f'<div class="chart"><div class="name">{html.escape(metric)}'
+                f'</div>{sparkline(values)}<div class="latest">latest: '
+                f'<b>{values[-1]:g}</b> over {len(values)} row(s)</div></div>')
+        commits = [str(row.get("commit", "?")) for row in history]
+        sections.append(
+            f"<h2>{html.escape(describe_series(key))}</h2>"
+            f'<div class="meta">commits: {html.escape(commits[0])} &rarr; '
+            f'{html.escape(commits[-1])} ({len(history)} rows)</div>'
+            f'<div class="charts">{"".join(charts)}</div>')
+
+    return (f"<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>repro perf trends</title><style>{PAGE_STYLE}</style>"
+            f"</head><body><h1>repro perf trends</h1>"
+            f'<div class="meta">{len(rows)} rows, {len(series)} series</div>'
+            f"{''.join(sections)}</body></html>")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render trend.jsonl as a static HTML report.")
+    parser.add_argument("--trend", default=DEFAULT_TREND,
+                        help="trend.jsonl path (default: next to this script)")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "trend.html"),
+        help="output HTML path (default: benchmarks/trend.html)")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.trend):
+        print(f"plot_trend: no trend file at {args.trend}; nothing to plot")
+        return 0
+    rows, problems = load_rows(args.trend)
+    for problem in problems:
+        print(f"plot_trend: WARNING {problem}")
+    if not rows:
+        print("plot_trend: trend file has no usable rows; nothing to plot")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(render(rows))
+    print(f"plot_trend: wrote {args.out} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

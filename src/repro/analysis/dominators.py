@@ -92,11 +92,16 @@ class DominatorTree:
         self._frontier = frontier
         return frontier
 
-    def iterated_dominance_frontier(self, blocks: Set[BasicBlock]) -> Set[BasicBlock]:
+    def iterated_dominance_frontier(self,
+                                    blocks: Set[BasicBlock]) -> List[BasicBlock]:
         """The iterated dominance frontier of a set of definition blocks.
 
         This is the classic phi-placement set of Cytron et al.: phi-nodes for a
         variable defined in ``blocks`` are needed exactly at this set.
+        Returned in reverse postorder: phi *placement* order names the
+        inserted phi-nodes, so it must be a function of the CFG alone — set
+        iteration order (object identity) would make two structurally
+        identical functions get differently numbered phi webs.
         """
         frontier = self.dominance_frontier()
         result: Set[BasicBlock] = set()
@@ -110,7 +115,7 @@ class DominatorTree:
                     if candidate not in seen:
                         seen.add(candidate)
                         worklist.append(candidate)
-        return result
+        return [block for block in self.rpo if block in result]
 
     # ------------------------------------------------------------ internals
     def _compute(self) -> None:

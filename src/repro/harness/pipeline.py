@@ -15,8 +15,10 @@ from typing import Dict, Optional, Union
 
 from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
+from ..incremental import IncrementalConfig, IncrementalStats, ModuleDelta, \
+    PipelineState, load_state, save_state
 from ..obs import MetricsRegistry, as_registry, maybe_span, \
-    observe_pipeline_result
+    observe_incremental_stats, observe_pipeline_result
 from ..parallel.stats import ParallelStats
 from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
@@ -235,3 +237,181 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     )
     observe_pipeline_result(registry, result)
     return result
+
+
+@dataclass
+class IncrementalRun:
+    """One delta's worth of incremental pipeline output."""
+
+    #: The same shape a cold ``run_pipeline`` returns (report, sizes,
+    #: timings) — ``merge_report_digest(run.result.report)`` is the parity
+    #: bar against the cold pipeline.  ``baseline_compile_seconds`` is 0:
+    #: the incremental path never re-runs the baseline stage, its input is
+    #: already normalized.
+    result: PipelineResult
+    #: The (mutated) state to thread into the next delta.
+    state: PipelineState
+    #: The delta this run applied (detected or caller-supplied).
+    delta: ModuleDelta
+    #: What the delta cost and what the previous state paid for.
+    stats: IncrementalStats
+
+    @property
+    def report(self) -> Optional[MergeReport]:
+        return self.result.report
+
+
+def _parallel_stats_delta(before: Optional[ParallelStats],
+                          after: Optional[ParallelStats]
+                          ) -> Optional[ParallelStats]:
+    """Per-run worker-pool counters of a state-owned (long-lived) engine."""
+    if after is None:
+        return None
+    if before is None:
+        return after
+    delta = ParallelStats(backend=after.backend, workers=after.workers)
+    for name, value in vars(after).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            previous = getattr(before, name, 0)
+            if isinstance(previous, (int, float)) \
+                    and not isinstance(previous, bool):
+                setattr(delta, name, type(value)(value - previous))
+    delta.backend = after.backend
+    delta.workers = after.workers
+    return delta
+
+
+def run_pipeline_incremental(module: Module,
+                             state: Optional[PipelineState] = None,
+                             delta: Optional[ModuleDelta] = None,
+                             *,
+                             benchmark: str = "incremental",
+                             technique: str = "salssa",
+                             threshold: int = 1,
+                             target: str = "x86_64",
+                             phi_coalescing: bool = True,
+                             search_strategy: Union[str, SearchStrategy]
+                             = "exhaustive",
+                             cache_dir: Optional[str] = None,
+                             artifact_store: Optional[ArtifactStore] = None,
+                             parallel_workers: int = 0,
+                             parallel_backend: str = "process",
+                             metrics: Union[None, bool, MetricsRegistry]
+                             = None) -> IncrementalRun:
+    """Re-run the merge pipeline for ``module``, reusing ``state``.
+
+    The incremental counterpart of :func:`run_pipeline` (see
+    :mod:`repro.incremental` and ``docs/incremental.md``): the final report
+    is **bit-identical** to a cold ``run_pipeline`` over the same module,
+    but only pairs with at least one *dirty* endpoint are re-scored, only
+    merges the attempt cache cannot splice are re-generated, and index
+    artifacts are reused for every clean function — near-O(|delta|) work
+    per call for live modules.
+
+    ``state`` is ``None`` on the first call: with a ``cache_dir`` (or
+    ``artifact_store``) the pipeline then tries to *load* the previous
+    process's state snapshot and warm-start straight into incremental mode;
+    otherwise it bootstraps cold (every pair is a cache miss — the same
+    work a cold run does, invested once).  ``delta`` is detected via
+    ``content_digest`` diffs when not supplied.  The input module is never
+    mutated — each run replays over a working copy assembled from the
+    state's pristine functions, so the caller keeps editing the live module
+    between deltas.
+
+    ``parallel_workers`` hands each run a *state-owned* long-lived engine:
+    dirty candidate queries fan out to the existing worker pool instead of
+    respawning one per delta (call ``state.close()`` when done).
+    """
+    size_model = get_target(target)
+    registry = as_registry(metrics)
+    store = artifact_store
+    if store is None and cache_dir is not None:
+        store = ArtifactStore(cache_dir)
+    config = IncrementalConfig(
+        benchmark=benchmark, technique=technique, threshold=threshold,
+        target=target, phi_coalescing=phi_coalescing,
+        search_strategy=search_strategy)
+    with maybe_span(registry, "incremental.delta"):
+        if state is None and store is not None:
+            state = load_state(store, config)
+        if state is None:
+            state = PipelineState(config, artifact_store=store)
+        elif state.config.key() != config.key():
+            raise ValueError(
+                "run_pipeline_incremental called with a state built for a "
+                "different configuration; start a new state (or pass "
+                "matching technique/threshold/target/strategy arguments)")
+        if registry is not None and store is not None:
+            store.attach_metrics(registry)
+        with maybe_span(registry, "incremental.apply_delta"):
+            if delta is None:
+                delta = state.detect_delta(module)
+            state.apply_delta(module, delta)
+        with maybe_span(registry, "incremental.assemble"):
+            working, precomputed = state.assemble(module)
+        persistent = PersistentAnalysisCache(store) if store is not None \
+            else None
+        manager = ModuleAnalysisManager(working, persistent=persistent)
+        if registry is not None:
+            manager.attach_metrics(registry)
+        baseline_size = size_model.module_size(working)
+        baseline_instructions = working.num_instructions()
+        options = make_pass_options(
+            technique, threshold, size_model, phi_coalescing,
+            search_strategy=search_strategy,
+            parallel_workers=parallel_workers,
+            parallel_backend=parallel_backend)
+        merging_pass = FunctionMergingPass(options)
+        engine = state.engine_for(merging_pass.parallel_config, registry)
+        engine_before = None
+        if engine is not None:
+            import copy as _copy
+            engine_before = _copy.copy(engine.stats)
+        state.cache.begin_run()
+        started = time.perf_counter()
+        with maybe_span(registry, "incremental.merge"):
+            report = merging_pass.run(
+                working, analysis_manager=manager, artifact_store=store,
+                metrics=registry, precomputed=precomputed,
+                attempt_cache=state.cache, engine=engine)
+        merge_seconds = time.perf_counter() - started
+        if engine is not None:
+            report.parallel_stats = _parallel_stats_delta(
+                engine_before, engine.stats)
+        result = PipelineResult(
+            benchmark=benchmark,
+            technique=technique,
+            threshold=threshold,
+            baseline_size=baseline_size,
+            final_size=size_model.module_size(working),
+            baseline_instructions=baseline_instructions,
+            final_instructions=working.num_instructions(),
+            baseline_compile_seconds=0.0,
+            merge_seconds=merge_seconds,
+            report=report,
+            analysis_stats=manager.stats,
+            persist_stats=store.stats if store is not None else None,
+            parallel_stats=report.parallel_stats,
+            metrics=registry,
+        )
+        stats = IncrementalStats(
+            delta_index=state.deltas_applied - 1,
+            functions_added=len(delta.added),
+            functions_changed=len(delta.changed),
+            functions_removed=len(delta.removed),
+            pairs_reused=state.cache.run_hits,
+            pairs_rescored=state.cache.run_misses,
+            merges_spliced=state.cache.merges_spliced,
+            merges_recomputed=state.cache.merges_recomputed,
+            attempts=report.attempts,
+            wall_seconds=merge_seconds,
+        )
+        state.report = report
+        state.analysis_manager = manager
+        if store is not None:
+            with maybe_span(registry, "incremental.snapshot"):
+                save_state(store, state)
+        observe_pipeline_result(registry, result)
+        observe_incremental_stats(registry, stats)
+    return IncrementalRun(result=result, state=state, delta=delta,
+                          stats=stats)

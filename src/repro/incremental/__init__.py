@@ -1,0 +1,40 @@
+"""repro.incremental — delta-driven re-merging for live modules.
+
+The batch pipeline re-ranks and re-merges everything on every run; this
+package makes the second and later runs cost near-O(|delta|): a
+:class:`ModuleDelta` names what changed (detected via ``content_digest``
+diffs or supplied explicitly), a :class:`PipelineState` carries the pristine
+normalized functions, the live candidate index, the memoized attempt cache
+and the previous report across runs, and
+:func:`repro.harness.run_pipeline_incremental` replays the merge pass over
+that state — re-scoring only pairs with a dirty endpoint and re-running
+codegen only for merges the cache cannot splice — while staying
+**bit-identical** to a cold run over the same module.
+
+See ``docs/incremental.md`` for the delta lifecycle and the state-snapshot
+format.
+"""
+
+from .cache import AttemptCache, AttemptOutcome
+from .delta import ModuleDelta, copy_module, detect_delta, remap_references, \
+    replace_function_body
+from .state import IncrementalConfig, PipelineState, STATE_KIND, \
+    STATE_SCHEMA, load_state, save_state
+from .stats import IncrementalStats
+
+__all__ = [
+    "AttemptCache",
+    "AttemptOutcome",
+    "IncrementalConfig",
+    "IncrementalStats",
+    "ModuleDelta",
+    "PipelineState",
+    "STATE_KIND",
+    "STATE_SCHEMA",
+    "copy_module",
+    "detect_delta",
+    "load_state",
+    "remap_references",
+    "replace_function_body",
+    "save_state",
+]

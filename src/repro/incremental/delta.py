@@ -1,0 +1,158 @@
+"""Module deltas: what changed between two versions of a live module.
+
+A :class:`ModuleDelta` names the functions a new module version added,
+changed or removed relative to the previous :class:`~repro.incremental.
+PipelineState`.  Deltas are usually *detected* — per-function
+``content_digest`` comparison, which the digest memo makes O(1) for every
+function a live module did not touch — but a caller that already knows what
+it edited can supply one explicitly and skip detection entirely.
+
+The module also hosts the two structural helpers the delta machinery and its
+tests share: :func:`replace_function_body` (in-place body swap, so a changed
+function keeps its identity and goes through ``CandidateIndex.update``) and
+:func:`copy_module` (a deep, by-name-remapped module copy — the reference
+"cold" module the parity tests re-run from scratch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.module import Module
+from ..ir.values import GlobalVariable, Value
+
+
+@dataclass(frozen=True)
+class ModuleDelta:
+    """Function names added / changed / removed by one module edit."""
+
+    added: Tuple[str, ...] = field(default_factory=tuple)
+    changed: Tuple[str, ...] = field(default_factory=tuple)
+    removed: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def dirty(self) -> Tuple[str, ...]:
+        """Names whose content is new to the pipeline (added + changed)."""
+        return self.added + self.changed
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.changed or self.removed)
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.changed) + len(self.removed)
+
+
+def detect_delta(module: Module, known_digests: Dict[str, str]) -> ModuleDelta:
+    """Diff ``module``'s defined functions against previously seen digests.
+
+    ``known_digests`` maps function name → the ``content_digest`` the
+    pipeline last ingested under that name (the *source* digest, i.e. of the
+    un-normalized input).  Digest calls are memoized per mutation epoch, so
+    for a live module only the functions the caller actually touched are
+    re-rendered — the diff itself is near-O(|delta|).
+    """
+    defined = {f.name: f for f in module.defined_functions()}
+    added = tuple(name for name in defined if name not in known_digests)
+    removed = tuple(name for name in known_digests if name not in defined)
+    changed = tuple(
+        name for name, function in defined.items()
+        if name in known_digests
+        and function.content_digest() != known_digests[name])
+    return ModuleDelta(added=added, changed=changed, removed=removed)
+
+
+def replace_function_body(target: Function, source: Function) -> None:
+    """Replace ``target``'s body with a deep copy of ``source``'s.
+
+    Requires matching function types (same arguments).  ``target`` keeps its
+    identity — every existing reference (index membership, call operands in
+    other functions) stays valid, and its mutation epoch advances so all
+    memoized digests and cached analyses invalidate naturally.
+    """
+    if target.function_type != source.function_type:
+        raise ValueError(
+            f"cannot splice body of @{source.name} into @{target.name}: "
+            f"function types differ")
+    for block in list(target.blocks):
+        block.erase_from_parent()
+    value_map: Dict[Value, Value] = {}
+    for source_arg, target_arg in zip(source.args, target.args):
+        value_map[source_arg] = target_arg
+    for block in source.blocks:
+        new_block = BasicBlock(block.name)
+        target.add_block(new_block)
+        value_map[block] = new_block
+    for block in source.blocks:
+        new_block = value_map[block]
+        for inst in block.instructions:
+            copied = inst.clone()
+            copied.name = inst.name
+            new_block.append(copied)
+            value_map[inst] = copied
+    for block in source.blocks:
+        for inst in block.instructions:
+            copied = value_map[inst]
+            for index, operand in enumerate(inst.operands):
+                if operand is None:
+                    continue
+                copied.set_operand(index, value_map.get(operand, operand))
+
+
+def copy_module(module: Module) -> Module:
+    """A deep copy of ``module`` with all cross-references remapped by name.
+
+    Declarations, definitions and their order are preserved; function and
+    global operands are rebound to the copy's own objects, so the result is
+    self-contained and behaviorally identical to the original under the
+    merge pipeline.  The parity tests run the cold reference pipeline over a
+    copy so the live module survives for the next delta.
+    """
+    from ..transforms.clone import clone_function  # deferred: transforms import ir
+
+    copied = Module(module.name)
+    for function in module.functions:
+        if function.is_declaration():
+            copied.declare_function(function.name, function.function_type)
+        else:
+            clone, _ = clone_function(function)
+            copied.add_function(clone)
+    remap_references(copied)
+    return copied
+
+
+def remap_references(module: Module) -> None:
+    """Rebind every function/global operand in ``module`` by name.
+
+    Operands referring to objects outside ``module`` (originals a clone kept
+    pointing at, members of a previous module version) are replaced with
+    ``module``'s own function of that name — declared on the fly if absent —
+    or with a module-owned :class:`GlobalVariable` copy.  Canonical text
+    refers to globals and callees purely by name, so remapping never changes
+    any function's content digest.
+    """
+    globals_by_name: Dict[str, GlobalVariable] = {
+        variable.name: variable for variable in module.globals}
+    for function in module.functions:
+        for block in function.blocks:
+            for inst in block.instructions:
+                for index, operand in enumerate(inst.operands):
+                    if isinstance(operand, Function):
+                        target = module.get_function(operand.name)
+                        if target is None:
+                            target = module.declare_function(
+                                operand.name, operand.function_type)
+                        if target is not operand:
+                            inst.set_operand(index, target)
+                    elif isinstance(operand, GlobalVariable):
+                        target = globals_by_name.get(operand.name)
+                        if target is None:
+                            target = GlobalVariable(
+                                operand.value_type, operand.name,
+                                operand.initializer, operand.is_constant)
+                            module.add_global(target)
+                            globals_by_name[operand.name] = target
+                        if target is not operand:
+                            inst.set_operand(index, target)

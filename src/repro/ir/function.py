@@ -118,6 +118,18 @@ class Function(GlobalValue):
         self._content_digest = (epoch, digest)
         return digest
 
+    def prime_content_digest(self, digest: str) -> None:
+        """Memoize a known ``content_digest`` for the current mutation epoch.
+
+        The caller asserts the digest is correct — the only sound use is
+        seeding a fresh, content-identical copy (``repro.incremental`` clones
+        a pristine function whose digest is already memoized) so the copy
+        never re-renders its canonical text just to recompute a hash it is
+        guaranteed to share.  Any later mutation invalidates the seed through
+        the epoch check exactly like a computed digest.
+        """
+        self._content_digest = (self._mutation_epoch, digest)
+
     # ------------------------------------------------------------- blocks
     @property
     def entry_block(self) -> Optional[BasicBlock]:

@@ -197,6 +197,35 @@ def parse_canonical_function(text: str, name: str = "f",
     return function
 
 
+def parse_named_function(text: str, module: Optional[Module] = None) -> Function:
+    """Reconstruct one function from its *named* rendering.
+
+    Inverse of :func:`repro.ir.printer.print_function`: unlike
+    :func:`parse_canonical_function` this preserves every local argument,
+    block and instruction name.  Names never change a function's
+    ``content_digest`` (the canonical text strips them), but downstream
+    consumers can tie-break on them — SalSSA's phi coalescing orders its
+    candidates by value name — so a reconstruction that feeds further
+    merging must round-trip names, not just structure.  Unknown ``@name``
+    references are declared implicitly from their use-site types, exactly
+    like :func:`parse_canonical_function`.
+    """
+    lines = [_strip_comment(raw) for raw in text.splitlines()]
+    stripped = [line.strip() for line in lines if line.strip()]
+    if not stripped:
+        raise ParseError("empty function text")
+    target = module if module is not None else Module("parsed")
+    header = stripped[0]
+    if header.startswith("declare"):
+        return _parse_declaration(target, header)
+    function = _parse_definition_header(target, header)
+    body = stripped[1:]
+    if not body or body[-1] != "}":
+        raise ParseError("unterminated function body", header)
+    _FunctionBodyParser(target, function, implicit_globals=True).parse(body[:-1])
+    return function
+
+
 # ---------------------------------------------------------------------------
 # Top-level entities
 # ---------------------------------------------------------------------------

@@ -232,6 +232,31 @@ def _parse_type_cached(text: str) -> Type:
             return StructType(())
         parts = _split_top_level(inner)
         return StructType(tuple(parse_type(p) for p in parts))
+    if text.endswith(")"):
+        # A function signature, "ret (params)" — the spelling of function
+        # pointer pointees (e.g. "i32 (i32)*" after the "*" was stripped).
+        depth = 0
+        for index in range(len(text) - 1, -1, -1):
+            ch = text[index]
+            if ch in ")]}":
+                depth += 1
+            elif ch in "([{":
+                depth -= 1
+                if depth == 0:
+                    return_text = text[:index].strip()
+                    params_text = text[index + 1:-1].strip()
+                    if ch != "(" or not return_text:
+                        break
+                    vararg = False
+                    param_types = []
+                    for part in _split_top_level(params_text) \
+                            if params_text else []:
+                        if part == "...":
+                            vararg = True
+                        else:
+                            param_types.append(parse_type(part))
+                    return FunctionType(parse_type(return_text),
+                                        tuple(param_types), vararg)
     raise ValueError(f"cannot parse type: {text!r}")
 
 

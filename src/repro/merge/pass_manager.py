@@ -30,9 +30,36 @@ from ..ir.types import VoidType
 from ..ir.values import Constant
 from ..ir.builder import IRBuilder
 from ..ir.verifier import verify_function
+from ..ir.parser import parse_named_function
+from ..ir.printer import print_function
 from .cost_model import CostModel, MergeDecision
 from .fmsa import FMSAMerger, FMSAOptions
-from .salssa.codegen import MergedFunction, MergeError, SalSSAMerger, SalSSAOptions
+from .salssa.codegen import MergedFunction, MergeError, MergeStats, \
+    SalSSAMerger, SalSSAOptions
+
+
+class _CachedAttempt:
+    """A cache-served (ghost) attempt: what the ranking loop needs, no IR.
+
+    Quacks like :class:`MergedFunction` where the loop looks (``stats`` for
+    the attempt timers, ``function`` — ``None``, marking nothing resident to
+    discard); a ghost that wins its round is materialized at commit time.
+    """
+
+    __slots__ = ("first", "second", "name", "entry", "stats", "function")
+
+    def __init__(self, first: "Function", second: "Function", name: str,
+                 entry) -> None:
+        self.first = first
+        self.second = second
+        self.name = name
+        self.entry = entry
+        self.function = None
+        self.stats = MergeStats(
+            matched_instructions=entry.matched_instructions,
+            alignment_dp_cells=entry.alignment_dp_cells,
+            alignment_seconds=entry.alignment_seconds,
+            codegen_seconds=entry.codegen_seconds)
 
 
 @dataclass
@@ -152,7 +179,8 @@ class FunctionMergingPass:
     def run(self, module: Module,
             analysis_manager: Optional[ModuleAnalysisManager] = None,
             artifact_store: Optional[ArtifactStore] = None,
-            metrics=None) -> MergeReport:
+            metrics=None, precomputed=None, attempt_cache=None,
+            engine=None) -> MergeReport:
         """Run the pass over ``module``.
 
         ``analysis_manager`` is threaded through the candidate index (shared
@@ -169,6 +197,20 @@ class FunctionMergingPass:
         every attempt's alignment and codegen, and hands per-worker
         registries back through the engine.  Purely observational — the
         report is bit-identical with telemetry on or off.
+
+        The last three parameters are the incremental pipeline's dirty-set-
+        aware entry point (see :mod:`repro.incremental`); all default to the
+        batch behaviour.  ``precomputed`` maps functions to already derived
+        index artifacts and suppresses the engine's own artifact
+        precomputation.  ``attempt_cache`` memoizes attempt outcomes by
+        content-digest pair: cached pairs replay as *ghost* attempts (no
+        alignment, no codegen, no trial IR), and a ghost that wins its
+        ranking round is materialized at commit time — spliced from the
+        cached merged body when one exists, deterministically re-merged
+        otherwise.  ``engine`` lends the pass an externally owned worker
+        pool (it is then not closed here), so successive incremental runs
+        fan out to one long-lived pool.  All three are work-savers only:
+        reports stay bit-identical with or without them.
         """
         options = self.options
         manager = analysis_manager
@@ -202,12 +244,12 @@ class FunctionMergingPass:
             f: cost_model.function_size(f, manager)
             for f in module.defined_functions()}
 
-        engine = None
-        precomputed = None
+        owns_engine = engine is None
         with maybe_span(registry, "merge.index_build"):
-            if self.parallel_config is not None:
+            if engine is None and self.parallel_config is not None:
                 from ..parallel.engine import ParallelEngine
                 engine = ParallelEngine(self.parallel_config, metrics=registry)
+            if engine is not None and precomputed is None:
                 precomputed = engine.precompute_index_artifacts(
                     module, self.search_strategy,
                     min_size=options.min_function_size,
@@ -241,9 +283,12 @@ class FunctionMergingPass:
                     prefetched = engine.prefetch_candidates(
                         index, worklist, options.exploration_threshold)
             report.parallel_stats = engine.stats
-            engine.close()
+            if owns_engine:
+                engine.close()
 
-        def discard(merged: MergedFunction) -> None:
+        def discard(merged) -> None:
+            if merged.function is None:  # ghost attempt: nothing resident
+                return
             module.remove_function(merged.function)
             if manager is not None:
                 manager.forget(merged.function)
@@ -274,7 +319,8 @@ class FunctionMergingPass:
                     if other in consumed or other.parent is not module:
                         continue
                     attempt = self._attempt(merger, module, function, other,
-                                            report, cost_model, manager)
+                                            report, cost_model, manager,
+                                            attempt_cache)
                     if attempt is None:
                         continue
                     merged, decision = attempt
@@ -292,6 +338,13 @@ class FunctionMergingPass:
 
                 if best is not None and best_decision is not None \
                         and best_decision.profitable:
+                    if best.function is None:  # winning ghost: make it real
+                        best = self._materialize(best, module, merger,
+                                                 attempt_cache)
+                    if attempt_cache is not None:
+                        # Before thunking: the pair key is the originals'
+                        # pre-commit digests (memoized, so this is cheap).
+                        attempt_cache.note_commit(best)
                     self._commit(module, best, report, manager)
                     consumed.add(best.first)
                     consumed.add(best.second)
@@ -302,7 +355,13 @@ class FunctionMergingPass:
                     original_sizes[best.function] = cost_model.function_size(
                         best.function, manager)
                     if options.allow_remerge:
+                        if attempt_cache is not None:
+                            attempt_cache.prime_index_artifacts(
+                                index, best.function)
                         index.update(best.function)
+                        if attempt_cache is not None:
+                            attempt_cache.capture_index_artifacts(
+                                index, best.function)
                         worklist.append(best.function)
                         added_since_prefetch.append(best.function)
                     report.profitable_merges += 1
@@ -326,17 +385,62 @@ class FunctionMergingPass:
             return FMSAMerger(module, self.options.fmsa, analysis_manager=manager)
         return SalSSAMerger(module, self.options.salssa, analysis_manager=manager)
 
+    def _merged_name(self, module: Module, function: Function,
+                     other: Function) -> str:
+        """The name the merger would give this pair's merged function.
+
+        Mirrors the mergers' naming exactly (SalSSA appends ``.merged``,
+        FMSA ``.fmsa``), so a ghost attempt records the same name a real
+        merge would have — two distinct pairs can never share a prefix
+        (``first.second.suffix`` equality forces equal pair names), so the
+        uniquing outcome only depends on module state, which replay
+        reproduces.
+        """
+        suffix = "fmsa" if self.options.technique == "fmsa" else "merged"
+        return module.unique_function_name(
+            f"{function.name}.{other.name}.{suffix}")
+
     def _attempt(self, merger, module: Module, function: Function, other: Function,
                  report: MergeReport, cost_model: Optional[CostModel] = None,
-                 manager: Optional[ModuleAnalysisManager] = None):
+                 manager: Optional[ModuleAnalysisManager] = None,
+                 attempt_cache=None):
         if cost_model is None:
             cost_model = self.options.resolved_cost_model()
         if function.return_type != other.return_type:
             return None
+        key = None
+        if attempt_cache is not None:
+            key = (function.content_digest(), other.content_digest())
+            entry = attempt_cache.lookup(key)
+            if entry is not None:
+                report.attempts += 1
+                if entry.failed:
+                    return None
+                report.alignment_seconds += entry.alignment_seconds
+                report.codegen_seconds += entry.codegen_seconds
+                report.total_alignment_cells += entry.alignment_dp_cells
+                report.peak_alignment_cells = max(report.peak_alignment_cells,
+                                                  entry.alignment_dp_cells)
+                decision = MergeDecision(
+                    profitable=entry.profitable,
+                    original_size=entry.original_size,
+                    merged_size=entry.merged_size,
+                    overhead=entry.overhead)
+                name = self._merged_name(module, function, other)
+                report.records.append(MergeRecord(
+                    first=function.name, second=other.name, merged=name,
+                    decision=decision, committed=False,
+                    matched_instructions=entry.matched_instructions,
+                    alignment_seconds=entry.alignment_seconds,
+                    codegen_seconds=entry.codegen_seconds,
+                    alignment_dp_cells=entry.alignment_dp_cells))
+                return _CachedAttempt(function, other, name, entry), decision
         report.attempts += 1
         try:
             merged = merger.merge(function, other)
         except MergeError:
+            if attempt_cache is not None:
+                attempt_cache.record_failure(key)
             return None
         stats = merged.stats
         report.alignment_seconds += stats.alignment_seconds
@@ -363,7 +467,50 @@ class FunctionMergingPass:
             alignment_seconds=stats.alignment_seconds,
             codegen_seconds=stats.codegen_seconds,
             alignment_dp_cells=stats.alignment_dp_cells))
+        if attempt_cache is not None:
+            attempt_cache.record(key, decision, stats)
         return merged, decision
+
+    def _materialize(self, ghost: "_CachedAttempt", module: Module,
+                     merger, attempt_cache) -> MergedFunction:
+        """Turn a winning ghost attempt into a live :class:`MergedFunction`.
+
+        With a cached merged body the function is *spliced*: parsed straight
+        into ``module`` from its recorded *named* text (which refers to
+        callees and globals by name, so parsing against the working module
+        rebinds them to the right objects, and preserves the local value
+        names later name-tie-breaking passes see).  Without one — the pair
+        was evaluated but never committed before — the merge is re-run;
+        merging is deterministic, so the result equals what a cold run
+        would have committed, and the body is captured for next time.
+        """
+        entry = ghost.entry
+        if attempt_cache.splice_valid(entry, ghost.first, ghost.second):
+            function = parse_named_function(entry.merged_text, module=module)
+            if function.name != ghost.name:
+                # Content-identical input pairs share one cache entry (the
+                # key is digests, not names), so the recorded text can carry
+                # the name of whichever pair committed first.  splice_valid
+                # proved the inputs name-identical, so only the function
+                # name itself differs — re-register under the replayed name.
+                module.remove_function(function)
+                function.name = ghost.name
+                module.add_function(function)
+            attempt_cache.merges_spliced += 1
+            return MergedFunction(function, ghost.first, ghost.second,
+                                  entry.param_map or {}, stats=ghost.stats)
+        merged = merger.merge(ghost.first, ghost.second)
+        attempt_cache.merges_recomputed += 1
+        if merged.function.name != ghost.name:
+            raise MergeError(
+                f"replayed merge named {merged.function.name!r}, expected "
+                f"{ghost.name!r} — incremental replay diverged")
+        if entry.merged_text is None:
+            entry.merged_text = print_function(merged.function)
+            entry.named_key = attempt_cache.pair_named_key(
+                merged.first, merged.second)
+            entry.param_map = merged.param_map
+        return merged
 
     def _commit(self, module: Module, merged: MergedFunction, report: MergeReport,
                 manager: Optional[ModuleAnalysisManager] = None) -> None:

@@ -225,11 +225,25 @@ class _MergeState:
 
         param_types: List[Type] = [I1]
         arg_names: List[str] = ["fid"]
+        used_names = {"fid"}
+
+        def claim_name(base: str) -> str:
+            # Argument names must be unique within the merged function:
+            # inputs that are themselves merged functions carry a "fid"
+            # argument of their own, and printed IR with duplicate names
+            # cannot be parsed back faithfully.
+            candidate, suffix = base, 0
+            while candidate in used_names:
+                suffix += 1
+                candidate = f"{base}.{suffix}"
+            used_names.add(candidate)
+            return candidate
+
         # Function 1 arguments each get their own slot.
         for index, arg in enumerate(first.args):
             self.param_map[0][index] = len(param_types)
             param_types.append(arg.type)
-            arg_names.append(arg.name or f"a{index}")
+            arg_names.append(claim_name(arg.name or f"a{index}"))
         # Function 2 arguments reuse slots of equal type where possible.
         used_slots: set = set()
         for index, arg in enumerate(second.args):
@@ -243,7 +257,7 @@ class _MergeState:
             if slot is None:
                 slot = len(param_types)
                 param_types.append(arg.type)
-                arg_names.append(arg.name or f"b{index}")
+                arg_names.append(claim_name(arg.name or f"b{index}"))
             used_slots.add(slot)
             self.param_map[1][index] = slot
 

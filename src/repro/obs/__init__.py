@@ -36,6 +36,7 @@ from .export import (
 from .adapters import (
     attach_all,
     observe_analysis_stats,
+    observe_incremental_stats,
     observe_merge_report,
     observe_parallel_stats,
     observe_pipeline_result,
@@ -61,6 +62,7 @@ __all__ = [
     "maybe_span",
     "merge_snapshot_into",
     "observe_analysis_stats",
+    "observe_incremental_stats",
     "observe_merge_report",
     "observe_parallel_stats",
     "observe_pipeline_result",

@@ -172,6 +172,48 @@ def observe_parallel_stats(registry, stats) -> None:
         backend=backend).inc(stats.worker_seconds)
 
 
+def observe_incremental_stats(registry, stats) -> None:
+    """Fold one :class:`~repro.incremental.IncrementalStats` into ``registry``.
+
+    Called once per delta by ``run_pipeline_incremental``; the
+    ``repro_incremental_*`` families are what the ISSUE's perf bar reads —
+    pairs rescored versus reused, merges spliced versus recomputed — and
+    every counter adds across deltas when the caller threads one registry
+    through a whole delta stream.
+    """
+    if registry is None or stats is None:
+        return
+    registry.counter(
+        "repro_incremental_deltas_total",
+        help="Deltas replayed through the incremental pipeline.").inc(1)
+    for kind, count in (("added", stats.functions_added),
+                        ("changed", stats.functions_changed),
+                        ("removed", stats.functions_removed)):
+        registry.counter(
+            "repro_incremental_dirty_functions_total",
+            help="Delta members ingested, by delta kind.",
+            kind=kind).inc(count)
+    for outcome, count in (("rescored", stats.pairs_rescored),
+                           ("reused", stats.pairs_reused)):
+        registry.counter(
+            "repro_incremental_pairs_total",
+            help="Pair attempts by outcome: rescored (dirty endpoint) "
+                 "versus reused from the attempt cache.",
+            outcome=outcome).inc(count)
+    for outcome, count in (("spliced", stats.merges_spliced),
+                           ("recomputed", stats.merges_recomputed)):
+        registry.counter(
+            "repro_incremental_merges_total",
+            help="Committed cached merges by materialization path: spliced "
+                 "from recorded text versus deterministically re-merged.",
+            outcome=outcome).inc(count)
+    registry.gauge(
+        "repro_incremental_pair_reuse_ratio",
+        help="Fraction of this delta's pair attempts served from the "
+             "attempt cache.",
+        merge_mode="last").set(stats.pair_reuse_fraction)
+
+
 def observe_merge_report(registry, report) -> None:
     """Fold one :class:`~repro.merge.pass_manager.MergeReport` into ``registry``.
 

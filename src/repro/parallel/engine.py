@@ -265,9 +265,12 @@ class ParallelEngine:
         for function, fingerprint in index.fingerprints.items():
             artifact = index.export_artifacts(function)
             signature = artifact.get("signature")
+            probe_gaps = artifact.get("probe_gaps")
             population.append((function.name, function.content_digest(),
                                list(fingerprint.counts), fingerprint.size,
-                               list(signature) if signature is not None else None))
+                               list(signature) if signature is not None else None,
+                               list(probe_gaps) if probe_gaps is not None
+                               else None))
         by_name = {function.name: function for function in index.fingerprints}
         self.stats.ship_seconds += time.perf_counter() - started
         # Not counted as functions_shipped: queries ship fingerprint and

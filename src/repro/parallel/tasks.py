@@ -232,13 +232,18 @@ def _candidates_prepare(shared: dict) -> dict:
     strategy = SearchStrategy(**shared["strategy"])
     shims: List[_ShippedFunction] = []
     precomputed: Dict[_ShippedFunction, dict] = {}
-    for name, digest, counts, size, signature in shared["population"]:
+    for name, digest, counts, size, signature, probe_gaps in \
+            shared["population"]:
         fingerprint = Fingerprint(tuple(counts), size)
         shim = _ShippedFunction(name, digest, size)
         shims.append(shim)
         artifact = {"fingerprint": fingerprint}
         if signature is not None:
             artifact["signature"] = tuple(signature)
+        if probe_gaps is not None:
+            # Shipped so the worker's multi-probe row order is bit-identical
+            # to the parent's (shims carry no body to recompute gaps from).
+            artifact["probe_gaps"] = tuple(probe_gaps)
         precomputed[shim] = artifact
     index = make_index(_ShippedPopulation(shims), strategy,
                        min_size=shared["min_size"], precomputed=precomputed)

@@ -540,6 +540,66 @@ def valid_signature_payload(payload, expected_length: int) -> bool:
                     for value in payload))
 
 
+def _minhash_gaps(tokens: Sequence[int],
+                  hash_params: Sequence[Tuple[int, int]]) -> List[int]:
+    """Per-row MinHash *gaps*: second-smallest minus smallest hash value.
+
+    A small gap means the row's minimum was nearly beaten by another token —
+    a near-identical function whose token set differs slightly is likely to
+    flip exactly such rows.  Multi-probe therefore masks the smallest-gap
+    rows first (data-driven probing, Lv et al. style) instead of a fixed
+    row order.  Token sets with a single element have no runner-up; their
+    gap is the hash modulus, so they are probed last.
+    """
+    gaps: List[int] = []
+    for a, b in hash_params:
+        best = second = _MERSENNE_PRIME
+        for token in tokens:
+            value = (a * token + b) % _MERSENNE_PRIME
+            if value < best:
+                second = best
+                best = value
+            elif best < value < second:
+                second = value
+        gaps.append(second - best)
+    return gaps
+
+
+def compute_probe_gaps(function: Function, fingerprint: Fingerprint,
+                       strategy: SearchStrategy,
+                       hash_params: Optional[Sequence[Tuple[int, int]]] = None
+                       ) -> Tuple[int, ...]:
+    """Per-row probe gaps aligned with :func:`compute_minhash_signature`.
+
+    Row ``i`` of the returned tuple is the gap of row ``i`` of the signature
+    (shingle rows first, then fingerprint rows).  Shared with the
+    ``repro.parallel`` worker tasks via ``export_artifacts``/``precomputed``
+    so a worker's probe order is bit-identical to the parent's.
+    """
+    if hash_params is None:
+        hash_params = _signature_hash_family(strategy)
+    shingles = [_shingle_id(shingle)
+                for shingle in opcode_shingles(function, strategy.shingle_size)]
+    if not shingles:
+        shingles = [0]
+    split = max(1, strategy.num_bands) * max(1, strategy.rows_per_band)
+    gaps = _minhash_gaps(shingles, hash_params[:split])
+    if max(0, strategy.fingerprint_bands):
+        gaps.extend(_minhash_gaps(_fingerprint_tokens(fingerprint),
+                                  hash_params[split:]))
+    return tuple(gaps)
+
+
+def valid_probe_gaps(payload, expected_length: int) -> bool:
+    """Whether a loaded/shipped probe-gap payload is structurally sound."""
+    return (isinstance(payload, (list, tuple))
+            and len(payload) == expected_length
+            and all(isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and 0 <= value <= _MERSENNE_PRIME
+                    for value in payload))
+
+
 class MinHashLSHIndex(CandidateIndex):
     """Shingled-opcode MinHash signatures in banded LSH tables.
 
@@ -590,13 +650,18 @@ class MinHashLSHIndex(CandidateIndex):
             {} for _ in range(self._num_bands + self._fp_bands)]
         #: Multi-probe: per band, auxiliary tables keyed by the band key with
         #: one row position masked out, so a query can also reach members
-        #: whose signature differs from its own in that single row.
+        #: whose signature differs from its own in that single row.  Members
+        #: are inserted under *every* masked position; a query probes only
+        #: the ``multiprobe`` positions whose rows have the smallest hash
+        #: gaps (see :func:`compute_probe_gaps`) — the rows most likely to
+        #: differ on a near-identical candidate.
         self._multiprobe = max(0, strategy.multiprobe)
         self._masked_tables: List[Dict[Tuple[int, Tuple[int, ...]],
                                        Dict[Function, Fingerprint]]] = [
             {} for _ in range(self._num_bands + self._fp_bands)] \
             if self._multiprobe else []
         self._signatures: Dict[Function, Tuple[int, ...]] = {}
+        self._probe_gaps: Dict[Function, Tuple[int, ...]] = {}
         super().__init__(module, min_size=min_size, strategy=strategy, stats=stats,
                          analysis_manager=analysis_manager,
                          artifact_store=artifact_store,
@@ -624,52 +689,92 @@ class MinHashLSHIndex(CandidateIndex):
             store.store("minhash_signature", store_key, list(signature))
         return signature
 
+    def _probe_gaps_for(self, function: Function,
+                        fingerprint: Fingerprint) -> Optional[Tuple[int, ...]]:
+        """Per-row probe gaps of one function, shipped or computed locally.
+
+        Reconstructed worker-side functions carry no body; when their gaps
+        were not shipped either, ``None`` falls the query back to the fixed
+        first-``multiprobe`` row order.
+        """
+        shipped = self.precomputed.get(function)
+        if shipped is not None:
+            payload = shipped.get("probe_gaps")
+            if valid_probe_gaps(payload, len(self._hash_params)):
+                return tuple(payload)
+        if getattr(function, "blocks", None) is None:
+            return None
+        return compute_probe_gaps(function, fingerprint, self.strategy,
+                                  self._hash_params)
+
     def export_artifacts(self, function: Function) -> Dict[str, object]:
         artifacts = super().export_artifacts(function)
         signature = self._signatures.get(function)
         if signature is not None:
             artifacts["signature"] = signature
+        gaps = self._probe_gaps.get(function)
+        if gaps is not None:
+            artifacts["probe_gaps"] = gaps
         return artifacts
 
-    def _masked_keys(self, band: int, key: Tuple[int, ...]):
-        """The multi-probe keys of one band key: ``(position, key-without-it)``
-        for the first ``multiprobe`` row positions."""
-        for position in range(min(self._multiprobe, len(key))):
+    def _masked_keys(self, key: Tuple[int, ...]):
+        """Every masked key of one band key: ``(position, key-without-it)``.
+
+        Members are inserted under all positions, so the *query* side is free
+        to probe whichever positions its own gaps rank as most fragile.
+        """
+        for position in range(len(key)):
             yield position, key[:position] + key[position + 1:]
 
+    def _probe_positions(self, key: Tuple[int, ...], start: int,
+                         gaps: Optional[Tuple[int, ...]]):
+        """Which row positions of one band a query masks, fragile rows first."""
+        count = min(self._multiprobe, len(key))
+        if gaps is None:
+            return range(count)
+        return sorted(range(len(key)),
+                      key=lambda position: (gaps[start + position], position)
+                      )[:count]
+
     def _band_keys(self, signature: Tuple[int, ...]):
+        """``(band, first-row-offset, key)`` triples of one signature."""
         rows = self._rows
         split = self._num_bands * rows
         for band in range(self._num_bands):
-            yield band, signature[band * rows:(band + 1) * rows]
+            yield band, band * rows, signature[band * rows:(band + 1) * rows]
         rows = self._fp_rows
         for band in range(self._fp_bands):
-            yield (self._num_bands + band,
+            yield (self._num_bands + band, split + band * rows,
                    signature[split + band * rows:split + (band + 1) * rows])
 
     # ----------------------------------------------------------- maintenance
     def _insert(self, function: Function, fingerprint: Fingerprint) -> None:
         signature = self._signature(function, fingerprint)
         self._signatures[function] = signature
-        for band, key in self._band_keys(signature):
+        if self._multiprobe:
+            gaps = self._probe_gaps_for(function, fingerprint)
+            if gaps is not None:
+                self._probe_gaps[function] = gaps
+        for band, _, key in self._band_keys(signature):
             self._tables[band].setdefault(key, {})[function] = fingerprint
             if self._multiprobe:
-                for masked in self._masked_keys(band, key):
+                for masked in self._masked_keys(key):
                     self._masked_tables[band].setdefault(
                         masked, {})[function] = fingerprint
 
     def _discard(self, function: Function, fingerprint: Fingerprint) -> None:
         signature = self._signatures.pop(function, None)
+        self._probe_gaps.pop(function, None)
         if signature is None:
             return
-        for band, key in self._band_keys(signature):
+        for band, _, key in self._band_keys(signature):
             members = self._tables[band].get(key)
             if members is not None:
                 members.pop(function, None)
                 if not members:
                     del self._tables[band][key]
             if self._multiprobe:
-                for masked in self._masked_keys(band, key):
+                for masked in self._masked_keys(key):
                     masked_members = self._masked_tables[band].get(masked)
                     if masked_members is not None:
                         masked_members.pop(function, None)
@@ -683,15 +788,19 @@ class MinHashLSHIndex(CandidateIndex):
         signature = self._signatures.get(function)
         if signature is None:
             return []
+        gaps = self._probe_gaps.get(function) if self._multiprobe else None
         pool: Dict[Function, Fingerprint] = {}
-        for band, key in self._band_keys(signature):
+        for band, start, key in self._band_keys(signature):
             members = self._tables[band].get(key)
             if members:
                 pool.update(members)
             if self._multiprobe:
                 # Neighbouring buckets: members that agree with the query on
-                # every row of this band except the masked one.
-                for masked in self._masked_keys(band, key):
+                # every row of this band except the masked one.  The masked
+                # positions are the query's smallest-gap rows — the rows a
+                # near-duplicate is most likely to have flipped.
+                for position in self._probe_positions(key, start, gaps):
+                    masked = (position, key[:position] + key[position + 1:])
                     members = self._masked_tables[band].get(masked)
                     if members:
                         pool.update(members)

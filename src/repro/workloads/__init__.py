@@ -17,5 +17,13 @@ from .spec_like import (
     get_suite,
 )
 from .mibench_like import MIBENCH, MiBenchSpec, get_mibench, mibench_names
+from .mutate import (
+    add_clone,
+    constant_sites,
+    mutate_constant,
+    random_delta,
+    remove_random,
+    removable_functions,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

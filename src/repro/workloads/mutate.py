@@ -1,0 +1,121 @@
+"""Deterministic live-module mutations for the incremental pipeline.
+
+The incremental experiments (see :mod:`repro.incremental` and
+``tests/incremental/``) need a stream of realistic edit deltas against a
+generated module: an engineer tweaking a constant, pasting a near-clone of
+an existing function, deleting dead code.  These helpers apply exactly those
+edits — deterministically, from a caller-supplied :class:`random.Random` —
+so a delta stream is reproducible from its seed and the same stream can be
+replayed against a cold-reference copy of the module.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.types import IntType
+from ..ir.values import Constant
+from ..transforms.clone import clone_function
+
+#: One applied edit: (kind, function name), kind in {"change", "add",
+#: "remove"} — the vocabulary of :class:`~repro.incremental.ModuleDelta`.
+MutationRecord = Tuple[str, str]
+
+
+def constant_sites(function: Function) -> List[Tuple[Instruction, int]]:
+    """All (instruction, operand index) sites holding a mutable int constant.
+
+    ``i1`` constants are excluded: flipping a branch condition can make whole
+    blocks unreachable, which is a far bigger edit than "tweak a constant".
+    """
+    sites: List[Tuple[Instruction, int]] = []
+    for block in function.blocks:
+        for instruction in block.instructions:
+            for index, operand in enumerate(instruction.operands):
+                if isinstance(operand, Constant) \
+                        and isinstance(operand.type, IntType) \
+                        and operand.type.bits > 1:
+                    sites.append((instruction, index))
+    return sites
+
+
+def mutate_constant(function: Function, rng: random.Random) -> bool:
+    """Nudge one integer constant in ``function`` (the "change" edit).
+
+    Returns False when the function has no eligible site (then its content —
+    and digest — is unchanged and it must not be reported as dirty).
+    """
+    sites = constant_sites(function)
+    if not sites:
+        return False
+    instruction, index = rng.choice(sites)
+    operand = instruction.get_operand(index)
+    delta = rng.randint(1, 7)
+    instruction.set_operand(index, Constant(operand.type,
+                                            operand.value + delta))
+    return True
+
+
+def add_clone(module: Module, rng: random.Random,
+              source: Optional[Function] = None) -> Function:
+    """Paste a near-clone of an existing function (the "add" edit).
+
+    The clone gets a fresh unique name and one nudged constant (when it has
+    an eligible site), so it lands near — but not exactly on — its source in
+    fingerprint space, exactly like a hand-copied-then-edited function.
+    """
+    if source is None:
+        source = rng.choice(list(module.defined_functions()))
+    name = module.unique_function_name(f"{source.name}_v")
+    clone, _ = clone_function(source, new_name=name, module=module)
+    mutate_constant(clone, rng)
+    return clone
+
+
+def removable_functions(module: Module) -> List[Function]:
+    """Defined functions no other value references (safe to delete)."""
+    return [function for function in module.defined_functions()
+            if not function._uses]
+
+
+def remove_random(module: Module, rng: random.Random,
+                  keep_at_least: int = 2) -> Optional[str]:
+    """Delete one unreferenced function (the "remove" edit), or None when
+    the module is already at its ``keep_at_least`` floor."""
+    candidates = removable_functions(module)
+    if len(list(module.defined_functions())) - 1 < keep_at_least \
+            or not candidates:
+        return None
+    victim = rng.choice(candidates)
+    module.remove_function(victim)
+    return victim.name
+
+
+def random_delta(module: Module, rng: random.Random,
+                 edits: int = 3) -> List[MutationRecord]:
+    """Apply ``edits`` random edits to the live module and report them.
+
+    Change-heavy by design (most real deltas are body edits, not adds or
+    deletes).  The report is for logging/debugging — incremental callers
+    detect the actual delta from content digests, which also filters out
+    no-op "change" picks that found no mutable constant.
+    """
+    applied: List[MutationRecord] = []
+    for _ in range(edits):
+        kind = rng.choices(("change", "add", "remove"),
+                           weights=(6, 2, 1))[0]
+        if kind == "change":
+            function = rng.choice(list(module.defined_functions()))
+            if mutate_constant(function, rng):
+                applied.append(("change", function.name))
+        elif kind == "add":
+            applied.append(("add", add_clone(module, rng).name))
+        else:
+            name = remove_random(module, rng)
+            if name is not None:
+                applied.append(("remove", name))
+    return applied

@@ -1,0 +1,119 @@
+"""Unit tests for ``repro.incremental.delta``: detection and module copies."""
+
+import pytest
+
+from repro.incremental import (
+    copy_module,
+    detect_delta,
+    replace_function_body,
+)
+from repro.ir import parse_module
+from repro.ir.values import Constant
+
+TWO_FUNCTIONS = """
+declare i32 @ext(i32)
+
+define i32 @alpha(i32 %n) {
+entry:
+  %x = add i32 %n, 1
+  %y = call i32 @ext(i32 %x)
+  ret i32 %y
+}
+
+define i32 @beta(i32 %n) {
+entry:
+  %x = mul i32 %n, 3
+  ret i32 %x
+}
+"""
+
+
+class TestDetectDelta:
+    def test_everything_is_added_against_empty_history(self):
+        module = parse_module(TWO_FUNCTIONS)
+        delta = detect_delta(module, {})
+        assert sorted(delta.added) == ["alpha", "beta"]
+        assert delta.changed == () and delta.removed == ()
+        assert len(delta) == 2 and not delta.is_empty()
+
+    def test_unchanged_module_yields_empty_delta(self):
+        module = parse_module(TWO_FUNCTIONS)
+        digests = {f.name: f.content_digest()
+                   for f in module.defined_functions()}
+        delta = detect_delta(module, digests)
+        assert delta.is_empty()
+
+    def test_change_add_remove_are_all_detected(self):
+        module = parse_module(TWO_FUNCTIONS)
+        digests = {f.name: f.content_digest()
+                   for f in module.defined_functions()}
+        # change alpha in place
+        alpha = module.get_function("alpha")
+        inst = alpha.blocks[0].instructions[0]
+        inst.set_operand(1, Constant(inst.type, 9))
+        # remove beta, pretend gamma was added
+        digests["gamma"] = "no-such-digest"
+        delta = detect_delta(module, digests)
+        assert delta.changed == ("alpha",)
+        assert delta.removed == ("gamma",)
+        assert delta.added == ()
+        assert delta.dirty == ("alpha",)
+
+    def test_declarations_are_invisible_to_deltas(self):
+        module = parse_module(TWO_FUNCTIONS)
+        delta = detect_delta(module, {})
+        assert "ext" not in delta.added
+
+
+class TestReplaceFunctionBody:
+    def test_identity_and_content_both_swap(self):
+        module = parse_module(TWO_FUNCTIONS)
+        alpha = module.get_function("alpha")
+        donor = parse_module(TWO_FUNCTIONS).get_function("alpha")
+        donor_inst = donor.blocks[0].instructions[0]
+        donor_inst.set_operand(1, Constant(donor_inst.type, 7))
+        before = alpha.content_digest()
+        replace_function_body(alpha, donor)
+        assert module.get_function("alpha") is alpha
+        assert alpha.content_digest() != before
+        assert alpha.content_digest() == donor.content_digest()
+
+    def test_mismatched_signature_is_rejected(self):
+        module = parse_module(TWO_FUNCTIONS)
+        alpha = module.get_function("alpha")
+        ext = module.get_function("ext")
+        with pytest.raises(ValueError):
+            replace_function_body(
+                alpha, parse_module("define i64 @w() {\nentry:\n  ret i64 0\n}"
+                                    ).get_function("w"))
+        assert ext.is_declaration()
+
+
+class TestCopyModule:
+    def test_copy_preserves_digests_and_order(self):
+        module = parse_module(TWO_FUNCTIONS)
+        copied = copy_module(module)
+        assert [f.name for f in copied.functions] == \
+            [f.name for f in module.functions]
+        for original, clone in zip(module.defined_functions(),
+                                   copied.defined_functions()):
+            assert clone is not original
+            assert clone.content_digest() == original.content_digest()
+
+    def test_copy_is_self_contained(self):
+        module = parse_module(TWO_FUNCTIONS)
+        copied = copy_module(module)
+        alpha = copied.get_function("alpha")
+        call = alpha.blocks[0].instructions[1]
+        callee = call.operands[0]
+        assert callee is copied.get_function("ext")
+        assert callee is not module.get_function("ext")
+
+    def test_mutating_the_copy_leaves_the_original_alone(self):
+        module = parse_module(TWO_FUNCTIONS)
+        digests = {f.name: f.content_digest()
+                   for f in module.defined_functions()}
+        copied = copy_module(module)
+        inst = copied.get_function("beta").blocks[0].instructions[0]
+        inst.set_operand(1, Constant(inst.type, 11))
+        assert detect_delta(module, digests).is_empty()

@@ -1,0 +1,121 @@
+"""The incremental pipeline's bit-identity contract (ISSUE 7 acceptance).
+
+Every test compares :func:`run_pipeline_incremental` against a cold
+:func:`run_pipeline` over a deep copy of the same live module via
+``merge_report_digest`` — the full decision trace (sizes, attempts, per-pair
+decisions), wall-clock excluded.  Three module families are streamed through
+N >= 20 random deltas each; the generated family additionally checks parity
+at *every* step, so a divergence pinpoints the delta that introduced it.
+"""
+
+import random
+
+import pytest
+
+from repro.harness import run_pipeline, run_pipeline_incremental
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.incremental import copy_module
+from repro.obs import MetricsRegistry
+from repro.workloads import get_mibench, random_delta
+from repro.workloads.spec_like import get_benchmark
+
+N_DELTAS = 20
+
+
+def _final_parity(module, n_deltas, seed, benchmark):
+    """Stream ``n_deltas`` random edits; parity-check the final module."""
+    rng = random.Random(seed)
+    run = run_pipeline_incremental(module, benchmark=benchmark)
+    for _ in range(n_deltas):
+        random_delta(module, rng, edits=2)
+        run = run_pipeline_incremental(module, run.state)
+    cold = run_pipeline(copy_module(module), benchmark)
+    assert merge_report_digest(run.report) == merge_report_digest(cold.report)
+    return run
+
+
+class TestBootstrapParity:
+    def test_bootstrap_run_equals_cold_run(self):
+        module = search_workload(16)
+        run = run_pipeline_incremental(module, benchmark="boot")
+        cold = run_pipeline(copy_module(module), "boot")
+        assert merge_report_digest(run.report) == \
+            merge_report_digest(cold.report)
+        # A bootstrap has no history: every pair scored is a cache miss.
+        assert run.stats.pairs_reused == 0
+        assert run.stats.pairs_rescored == run.report.attempts
+
+    def test_empty_delta_is_a_pure_replay(self):
+        module = search_workload(16)
+        run = run_pipeline_incremental(module, benchmark="boot")
+        replay = run_pipeline_incremental(module, run.state)
+        assert merge_report_digest(replay.report) == \
+            merge_report_digest(run.report)
+        assert replay.stats.pairs_rescored == 0
+        assert replay.stats.pairs_reused == run.report.attempts
+
+
+class TestDeltaStreamParity:
+    def test_generated_family_every_step(self):
+        """Stepwise parity over the generated workload family."""
+        module = search_workload(16)
+        rng = random.Random(5)
+        run = run_pipeline_incremental(module, benchmark="gen")
+        for step in range(N_DELTAS):
+            random_delta(module, rng, edits=2)
+            run = run_pipeline_incremental(module, run.state)
+            cold = run_pipeline(copy_module(module), "gen")
+            assert merge_report_digest(run.report) == \
+                merge_report_digest(cold.report), f"diverged at delta {step}"
+
+    def test_mibench_like_family_final(self):
+        module = get_mibench("bitcount").build()
+        _final_parity(module, N_DELTAS, seed=21, benchmark="mibench")
+
+    def test_spec_like_family_final(self):
+        module = get_benchmark("462.libquantum").build()
+        _final_parity(module, N_DELTAS, seed=22, benchmark="spec")
+
+
+class TestIncrementalStats:
+    def test_reuse_dominates_on_small_deltas(self):
+        module = search_workload(20)
+        rng = random.Random(9)
+        run = run_pipeline_incremental(module, benchmark="stats")
+        reused = rescored = 0
+        for _ in range(5):
+            random_delta(module, rng, edits=1)
+            run = run_pipeline_incremental(module, run.state)
+            reused += run.stats.pairs_reused
+            rescored += run.stats.pairs_rescored
+        assert reused > rescored, (reused, rescored)
+        assert 0.0 <= run.stats.pair_reuse_fraction <= 1.0
+
+    def test_delta_members_are_counted(self):
+        module = search_workload(12)
+        run = run_pipeline_incremental(module, benchmark="stats")
+        rng = random.Random(4)
+        random_delta(module, rng, edits=2)
+        run = run_pipeline_incremental(module, run.state)
+        assert (run.stats.functions_added + run.stats.functions_changed
+                + run.stats.functions_removed) > 0
+        assert run.stats.delta_index == 1
+
+    def test_metrics_families_are_emitted(self):
+        registry = MetricsRegistry()
+        module = search_workload(12)
+        run = run_pipeline_incremental(module, benchmark="metrics",
+                                       metrics=registry)
+        rng = random.Random(4)
+        random_delta(module, rng, edits=2)
+        run = run_pipeline_incremental(module, run.state, metrics=registry)
+        assert registry.counter("repro_incremental_deltas_total").value == 2
+        rescored = registry.counter("repro_incremental_pairs_total",
+                                    outcome="rescored").value
+        reused = registry.counter("repro_incremental_pairs_total",
+                                  outcome="reused").value
+        assert rescored + reused > 0
+        assert reused == 0 or run.stats.pairs_reused <= reused
+        gauge = registry.gauge("repro_incremental_pair_reuse_ratio",
+                               merge_mode="last")
+        assert gauge.value == pytest.approx(run.stats.pair_reuse_fraction)

@@ -1,0 +1,131 @@
+"""Property test: index maintenance equals a fresh build (ISSUE 7).
+
+For every strategy — the three concrete ones plus ``adaptive`` — any
+interleaving of ``add`` / ``remove`` / ``update`` must leave the index
+answering queries exactly like a fresh index built over the final
+population.  This is the contract the incremental pipeline leans on: a
+``PipelineState``'s index is only ever *maintained*, never rebuilt, across
+an unbounded delta stream.
+"""
+
+import random
+
+import pytest
+
+from repro.harness.experiments import search_workload
+from repro.ir.values import Constant
+from repro.search import make_index
+from repro.search.adaptive import AdaptiveIndex
+from repro.workloads import constant_sites
+from repro.workloads.generator import FamilySpec, ProgramSpec, generate_program
+from repro.transforms.simplify import simplify_module
+
+STRATEGIES = ["exhaustive", "size_buckets", "minhash_lsh", "adaptive"]
+
+
+def _population(seed=3):
+    """A module big enough that ``adaptive`` starts off ``size_buckets``."""
+    module = search_workload(72, seed=seed)
+    return module, list(module.defined_functions())
+
+
+def _mutate(function, rng):
+    """Nudge one constant in place (a real content change, same identity)."""
+    sites = constant_sites(function)
+    if not sites:
+        return False
+    instruction, operand_index = rng.choice(sites)
+    constant = instruction.operands[operand_index]
+    instruction.set_operand(
+        operand_index, Constant(constant.type, constant.value + 1))
+    return True
+
+
+def _answers(index, queries, top_k=3):
+    return {query.name: [(c.function.name, c.distance)
+                         for c in index.candidates_for(query, top_k)]
+            for query in queries}
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_interleaving_equals_fresh_index(strategy, seed):
+    module, functions = _population()
+    rng = random.Random(seed)
+    live = make_index(module, strategy, min_size=3)
+
+    population = list(functions)
+    removed = []
+    for _ in range(40):
+        op = rng.choice(("add", "remove", "update", "update"))
+        if op == "remove" and len(population) > 8:
+            victim = population.pop(rng.randrange(len(population)))
+            live.remove(victim)
+            removed.append(victim)
+        elif op == "add" and removed:
+            revenant = removed.pop(rng.randrange(len(removed)))
+            live.add(revenant)
+            population.append(revenant)
+        else:
+            target = rng.choice(population)
+            _mutate(target, rng)
+            live.update(target)
+
+    fresh = make_index(_Population(population), strategy, min_size=3)
+    queries = sorted(population, key=lambda f: f.name)
+    assert _answers(live, queries) == _answers(fresh, queries)
+    assert live.stats.strategy == fresh.stats.strategy
+
+
+def test_adaptive_reevaluates_across_the_shrinking_cutoff():
+    """A delta stream that merges a module down across the exhaustive
+    cutoff must flip the adaptive delegate — and still answer like a
+    fresh adaptive index (satellite 1)."""
+    module, functions = _population()
+    live = make_index(module, "adaptive", min_size=3)
+    assert isinstance(live, AdaptiveIndex)
+    first_choice = live.stats.strategy
+    assert first_choice != "exhaustive"
+
+    population = list(functions)
+    while len(population) > 8:
+        live.remove(population.pop())
+    assert live.stats.strategy == "exhaustive"
+
+    fresh = make_index(_Population(population), "adaptive", min_size=3)
+    assert fresh.stats.strategy == "exhaustive"
+    queries = sorted(population, key=lambda f: f.name)
+    assert _answers(live, queries) == _answers(fresh, queries)
+
+
+def test_adaptive_reevaluates_toward_minhash_on_homogenisation():
+    """Updates that narrow the size spread can flip size_buckets ->
+    minhash_lsh; answers must still match a fresh index."""
+    spec = ProgramSpec(
+        name="homog", seed=5,
+        families=[FamilySpec(size=2, divergence=0.05, function_size=30)
+                  for _ in range(40)],
+        standalone_functions=0, with_main=False)
+    module = generate_program(spec)
+    simplify_module(module)
+    live = make_index(module, "adaptive", min_size=3)
+    assert live.stats.strategy == "minhash_lsh"
+    rng = random.Random(8)
+    population = list(module.defined_functions())
+    for target in population[:10]:
+        _mutate(target, rng)
+        live.update(target)
+    fresh = make_index(module, "adaptive", min_size=3)
+    assert live.stats.strategy == fresh.stats.strategy
+    queries = sorted(population, key=lambda f: f.name)
+    assert _answers(live, queries) == _answers(fresh, queries)
+
+
+class _Population:
+    """Quacks like a module for ``make_index`` over an explicit member list."""
+
+    def __init__(self, functions):
+        self._functions = functions
+
+    def defined_functions(self):
+        return list(self._functions)
