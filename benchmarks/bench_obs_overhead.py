@@ -1,0 +1,161 @@
+"""Flight-recorder overhead: events-off vs events-on vs deep-mode runs.
+
+Not a paper figure — this benchmarks ``repro.obs.events``, the decision-level
+flight recorder the merge pass emits into (ISSUE 8).  The recorder's contract
+has two halves, and this bench gates both:
+
+* **Bit-identity.**  ``merge_report_digest`` must be identical across
+  events-off, events-on and ``metrics="deep"`` runs — the recorder only
+  observes, never steers.  Asserted in every mode at every size.
+* **Bounded overhead.**  An events-on run (registry + flight recorder) must
+  cost **< 5%** wall-clock over the bare run.  Asserted only under
+  ``REPRO_FULL=1`` at the 1024-function acceptance size (smoke sizes report
+  the ratio but never fail on CI timing noise); the trend gate tracks the
+  series as advisory either way.
+
+The trend rows double as the histogram-tuning feed: each row records the
+run's per-family timer quantiles (``timer_quantiles``) and per-phase net
+allocation (``phase_alloc``, deep mode), which
+``repro.obs.buckets.tuned_bucket_overrides`` and ``plot_trend.py`` consume.
+
+``REPRO_SMOKE=1`` shrinks the sweep to one small module; ``REPRO_FULL=1``
+extends it to 256 and 1024 functions.
+"""
+
+import os
+import time
+
+from repro.harness import run_pipeline
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.obs import PHASE_ALLOC_GAUGE, MetricsRegistry, attach_events
+
+from conftest import FULL, append_trend, run_once
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("0", "", "false")
+SIZES = (64,) if SMOKE else ((256, 1024) if FULL else (256,))
+
+ACCEPTANCE_SIZE = 1024
+#: Events-on wall-clock over events-off, upper bound (FULL runs only).
+MAX_OVERHEAD = 1.05
+
+#: Timer families whose quantiles feed the bucket-tuning loop.
+QUANTILE_FAMILIES = (
+    "repro_phase_seconds",
+    "repro_merge_alignment_seconds",
+    "repro_merge_codegen_seconds",
+)
+
+
+def _timer_quantiles(registry) -> dict:
+    """p50/p90/p99 per tracked timer family, all labeled children pooled."""
+    quantiles = {}
+    for family in registry.families():
+        if family.name not in QUANTILE_FAMILIES or family.kind != "timer":
+            continue
+        merged = None
+        for _, child in family.samples():
+            if merged is None:
+                merged = type(child)(child.bounds)
+            merged._merge(child)
+        if merged is None or merged.count == 0:
+            continue
+        quantiles[family.name] = {
+            "p50": round(merged.quantile(0.50), 6),
+            "p90": round(merged.quantile(0.90), 6),
+            "p99": round(merged.quantile(0.99), 6),
+        }
+    return quantiles
+
+
+def _phase_alloc(registry) -> dict:
+    """Per-phase net allocation (bytes) from the deep-mode gauge family."""
+    alloc = {}
+    for family in registry.families():
+        if family.name != PHASE_ALLOC_GAUGE:
+            continue
+        for values, child in family.samples():
+            labels = dict(zip(family.label_names, values))
+            alloc[labels.get("phase", "?")] = int(child.value)
+    return alloc
+
+
+def obs_overhead(sizes):
+    rows = []
+    for size in sizes:
+        timings = {}
+        digests = {}
+        registries = {}
+        for mode in ("off", "events", "deep"):
+            module = search_workload(size)
+            registry = None
+            if mode == "events":
+                registry = MetricsRegistry()
+                attach_events(registry, True)
+            elif mode == "deep":
+                registry = MetricsRegistry(trace_memory=True, deep=True)
+                attach_events(registry, True)
+            start = time.perf_counter()
+            result = run_pipeline(module, "bench", technique="salssa",
+                                  threshold=2, metrics=registry)
+            timings[mode] = time.perf_counter() - start
+            digests[mode] = merge_report_digest(result.report)
+            registries[mode] = registry
+            if registry is not None:
+                registry.close()
+        events_log = registries["events"].events
+        rows.append({
+            "num_functions": size,
+            "off_seconds": timings["off"],
+            "events_seconds": timings["events"],
+            "deep_seconds": timings["deep"],
+            "overhead_ratio": timings["events"] / timings["off"]
+            if timings["off"] else 1.0,
+            "deep_ratio": timings["deep"] / timings["off"]
+            if timings["off"] else 1.0,
+            "events_recorded": len(events_log),
+            "events_dropped": events_log.dropped,
+            "digests_match": digests["off"] == digests["events"]
+            == digests["deep"],
+            "timer_quantiles": _timer_quantiles(registries["events"]),
+            "phase_alloc": _phase_alloc(registries["deep"]),
+        })
+    return rows
+
+
+def test_obs_event_overhead(benchmark):
+    rows = run_once(benchmark, obs_overhead, SIZES)
+    print()
+    for row in rows:
+        print(f"  {row['num_functions']:5d} fns: off {row['off_seconds']:.3f}s"
+              f" events {row['events_seconds']:.3f}s"
+              f" ({100 * (row['overhead_ratio'] - 1):+.1f}%)"
+              f" deep {row['deep_seconds']:.3f}s"
+              f" ({100 * (row['deep_ratio'] - 1):+.1f}%), "
+              f"{row['events_recorded']} events "
+              f"({row['events_dropped']} dropped), "
+              f"digests_match={row['digests_match']}")
+    largest = max(SIZES)
+    newest = next(r for r in rows if r["num_functions"] == largest)
+    benchmark.extra_info["overhead_ratio"] = round(
+        newest["overhead_ratio"], 4)
+    append_trend(
+        "obs_overhead", num_functions=largest,
+        overhead_ratio=round(newest["overhead_ratio"], 4),
+        deep_ratio=round(newest["deep_ratio"], 4),
+        events_recorded=newest["events_recorded"],
+        events_dropped=newest["events_dropped"],
+        timer_quantiles=newest["timer_quantiles"],
+        phase_alloc=newest["phase_alloc"],
+        digests_match=all(r["digests_match"] for r in rows))
+
+    # Bit-identity is the contract: asserted in every mode, every size.
+    for row in rows:
+        assert row["digests_match"], \
+            f"report diverged with the flight recorder on at " \
+            f"{row['num_functions']} functions"
+        assert row["events_recorded"] > 0, row
+    # The overhead bar only binds at the acceptance size (FULL runs), where
+    # per-event cost dominates fixed setup; smoke sizes report, never fail.
+    for row in rows:
+        if row["num_functions"] >= ACCEPTANCE_SIZE:
+            assert row["overhead_ratio"] < MAX_OVERHEAD, row

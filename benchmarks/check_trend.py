@@ -105,6 +105,18 @@ POLICIES: Dict[str, BenchPolicy] = {
             "warm_recomputed": MetricPolicy("lower", 0.0, abs_slack=2.0),
             "speedup": MetricPolicy("higher", 0.25, advisory=True),
         }),
+    "obs_overhead": BenchPolicy(
+        # digest parity across events-off/on/deep fails immediately; the
+        # wall-clock overhead ratios are advisory (CI runners are noisy),
+        # the drop counter is deterministic for a fixed workload and gated.
+        context=("num_functions",),
+        metrics={
+            "overhead_ratio": MetricPolicy("lower", 0.25, abs_slack=0.05,
+                                           advisory=True),
+            "deep_ratio": MetricPolicy("lower", 0.25, abs_slack=0.10,
+                                       advisory=True),
+            "events_dropped": MetricPolicy("lower", 0.0, abs_slack=0.0),
+        }),
     "incremental": BenchPolicy(
         # digest parity (the digests_match correctness bit) fails
         # immediately on the newest row; the pair-reuse fraction is

@@ -36,6 +36,10 @@ SPARK_WIDTH = 260
 SPARK_HEIGHT = 48
 PAD = 6
 
+#: Stroke palette for overlaid dict-valued series (cycles when exhausted).
+OVERLAY_COLORS = ("#4464ad", "#bb3e4e", "#3e8e5a", "#b07c3a", "#7a4fa3",
+                  "#3a8fa8", "#8a8a2e", "#a34f6e")
+
 PAGE_STYLE = """
 body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
        color: #1a1a2e; }
@@ -78,6 +82,59 @@ def metric_values(history: List[dict], metric: str) -> List[float]:
             and not isinstance(row.get(metric), bool)]
 
 
+def _flatten_numeric(value, prefix: str = "") -> Dict[str, float]:
+    """Flatten a (possibly nested) dict to dotted-key numeric leaves:
+    ``{"merge": {"p50": 0.1}}`` -> ``{"merge.p50": 0.1}``."""
+    leaves: Dict[str, float] = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            dotted = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_flatten_numeric(child, dotted))
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        leaves[prefix] = float(value)
+    return leaves
+
+
+def dict_series(history: List[dict], metric: str) -> Dict[str, List[float]]:
+    """Per-key value series for a dict-valued metric (``phase_alloc``,
+    ``timer_quantiles``): one aligned list per flattened key, rows where the
+    key is absent skipped per-key."""
+    series: Dict[str, List[float]] = {}
+    for row in history:
+        if not isinstance(row.get(metric), dict):
+            continue
+        for key, value in _flatten_numeric(row[metric]).items():
+            series.setdefault(key, []).append(value)
+    return series
+
+
+def overlay_sparkline(series: Dict[str, List[float]]) -> str:
+    """One SVG with every key's series overlaid (shared y-scale), plus a
+    color-keyed legend — how per-phase allocation moves across commits."""
+    every = [value for values in series.values() for value in values]
+    lo, hi = min(every), max(every)
+    span = (hi - lo) or 1.0
+    lines: List[str] = []
+    legend: List[str] = []
+    for index, key in enumerate(sorted(series)):
+        values = series[key]
+        if len(values) == 1:
+            values = values * 2
+        color = OVERLAY_COLORS[index % len(OVERLAY_COLORS)]
+        step = (SPARK_WIDTH - 2 * PAD) / (len(values) - 1)
+        points = " ".join(
+            f"{PAD + position * step:.1f},"
+            f"{SPARK_HEIGHT - PAD - (value - lo) / span * (SPARK_HEIGHT - 2 * PAD):.1f}"
+            for position, value in enumerate(values))
+        lines.append(f'<polyline points="{points}" '
+                     f'style="stroke:{color}"/>')
+        legend.append(f'<span style="color:{color}">&#9632;</span> '
+                      f'{html.escape(key)}: <b>{series[key][-1]:g}</b>')
+    return (f'<svg width="{SPARK_WIDTH}" height="{SPARK_HEIGHT}" '
+            f'viewBox="0 0 {SPARK_WIDTH} {SPARK_HEIGHT}">{"".join(lines)}'
+            f'</svg><div class="latest">{"<br/>".join(legend)}</div>')
+
+
 def render(rows: List[dict]) -> str:
     series: Dict[Tuple, List[dict]] = {}
     for row in rows:
@@ -101,6 +158,15 @@ def render(rows: List[dict]) -> str:
         for metric in metrics:
             values = metric_values(history, metric)
             if not values:
+                # Dict-valued metrics (phase_alloc bytes per phase,
+                # timer_quantiles per family): overlay one series per key.
+                per_key = dict_series(history, metric)
+                if per_key:
+                    charts.append(
+                        f'<div class="chart"><div class="name">'
+                        f'{html.escape(metric)}</div>'
+                        f'{overlay_sparkline(per_key)}</div>')
+                    continue
                 # Non-numeric (e.g. digests_match booleans): show as text.
                 charts.append(
                     f'<div class="chart"><div class="name">'

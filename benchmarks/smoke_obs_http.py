@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI smoke for the live exposition endpoint.
+
+Runs one small instrumented pipeline (`events=True`), serves the resulting
+registry + flight-recorder log over :class:`repro.obs.ObsHTTPServer`, then
+plays the scraper: fetch all four routes over real HTTP, validate
+``/metrics`` with the strict minimal parser
+(:func:`repro.obs.parse_prometheus_text`), check ``/snapshot.json`` and
+``/events.jsonl`` restore cleanly, and write the recorded log to
+``benchmarks/run.events.jsonl`` so CI can upload it as a build artifact
+next to the trend file.
+
+Exit status: 0 on success, 1 on any validation failure.  Run as CI does::
+
+    PYTHONPATH=src python benchmarks/smoke_obs_http.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.harness.experiments import search_workload  # noqa: E402
+from repro.harness.pipeline import run_pipeline  # noqa: E402
+from repro.obs import (  # noqa: E402
+    EventLog,
+    ObsHTTPServer,
+    parse_prometheus_text,
+)
+
+#: Module size for the smoke run: big enough to commit merges and record a
+#: few hundred events, small enough for a starved CI runner.
+SMOKE_SIZE = 64
+
+EVENTS_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "run.events.jsonl")
+
+
+def fetch(server: ObsHTTPServer, path: str) -> str:
+    with urllib.request.urlopen(server.url + path, timeout=10) as response:
+        if response.status != 200:
+            raise AssertionError(f"GET {path} -> {response.status}")
+        return response.read().decode("utf-8")
+
+
+def main() -> int:
+    print(f"smoke_obs_http: running instrumented pipeline "
+          f"({SMOKE_SIZE} functions, events on)")
+    result = run_pipeline(search_workload(SMOKE_SIZE), "smoke",
+                          technique="salssa", threshold=2, events=True)
+    registry = result.metrics
+    log = registry.events
+    if not len(log):
+        print("smoke_obs_http: FAIL pipeline recorded no events")
+        return 1
+    print(f"smoke_obs_http: {len(log)} events recorded, "
+          f"{len(log.records('commit'))} commits")
+
+    with ObsHTTPServer(registry) as server:
+        print(f"smoke_obs_http: serving {server.url}")
+
+        body = fetch(server, "/healthz")
+        assert body == "ok\n", f"unexpected /healthz body {body!r}"
+
+        metrics_text = fetch(server, "/metrics")
+        types, samples = parse_prometheus_text(metrics_text)
+        assert "repro_merge_attempts_total" in types, \
+            "merge counters missing from /metrics"
+        print(f"smoke_obs_http: /metrics parsed clean "
+              f"({len(types)} families, {len(samples)} samples)")
+
+        snapshot = json.loads(fetch(server, "/snapshot.json"))
+        assert snapshot.get("schema") == 1, "snapshot schema missing"
+        assert snapshot.get("events"), "snapshot lost the event log"
+
+        events_text = fetch(server, "/events.jsonl")
+        restored = EventLog.from_jsonl(events_text)
+        assert len(restored) == len(log), \
+            f"served {len(restored)} events, recorded {len(log)}"
+        print(f"smoke_obs_http: /snapshot.json and /events.jsonl "
+              f"round-trip clean")
+
+    with open(EVENTS_OUT, "w", encoding="utf-8") as handle:
+        handle.write(events_text)
+    print(f"smoke_obs_http: wrote {EVENTS_OUT}")
+    print("smoke_obs_http: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,4 +4,9 @@ All project metadata lives in pyproject.toml."""
 
 from setuptools import setup
 
-setup()
+setup(entry_points={
+    "console_scripts": [
+        # Also reachable without installation: python -m repro.obs.explain
+        "repro-explain=repro.obs.explain:main",
+    ],
+})

@@ -17,8 +17,8 @@ from ..analysis.manager import AnalysisStats, ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64, get_target
 from ..incremental import IncrementalConfig, IncrementalStats, ModuleDelta, \
     PipelineState, load_state, save_state
-from ..obs import MetricsRegistry, as_registry, maybe_span, \
-    observe_incremental_stats, observe_pipeline_result
+from ..obs import EventLog, MetricsRegistry, as_registry, attach_events, \
+    maybe_span, observe_incremental_stats, observe_pipeline_result
 from ..parallel.stats import ParallelStats
 from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
@@ -131,7 +131,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  artifact_store: Optional[ArtifactStore] = None,
                  parallel_workers: int = 0,
                  parallel_backend: str = "process",
-                 metrics: Union[None, bool, MetricsRegistry] = None
+                 metrics: Union[None, bool, str, MetricsRegistry] = None,
+                 events: Union[None, bool, EventLog] = None
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
@@ -163,16 +164,30 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     was built with.)
 
     ``metrics`` turns on the unified telemetry spine (see :mod:`repro.obs`):
-    ``True`` gives the run a fresh :class:`~repro.obs.MetricsRegistry`, or
-    pass a registry to accumulate several runs into one.  The registry is
-    threaded through every layer — phase spans, store/search/analysis hooks,
-    per-worker registries merged back deterministically — and surfaced on
-    :attr:`PipelineResult.metrics` with all the stats views above folded in.
-    Telemetry is purely observational: reports and sizes are bit-identical
-    with it on or off.
+    ``True`` gives the run a fresh :class:`~repro.obs.MetricsRegistry`,
+    ``"deep"`` one that additionally attributes net ``tracemalloc``
+    allocation to every phase span, or pass a registry to accumulate several
+    runs into one.  The registry is threaded through every layer — phase
+    spans, store/search/analysis hooks, per-worker registries merged back
+    deterministically — and surfaced on :attr:`PipelineResult.metrics` with
+    all the stats views above folded in.  Telemetry is purely observational:
+    reports and sizes are bit-identical with it on or off.
+
+    ``events`` additionally turns on the flight recorder (see
+    :mod:`repro.obs.events`): ``True`` attaches a fresh
+    :class:`~repro.obs.EventLog` (creating a registry for it to ride on if
+    ``metrics`` was off), or pass a log to keep recording across runs.  The
+    merge pass then emits one decision-level event per pair considered,
+    verdict, commit and rollback — inspect with ``python -m
+    repro.obs.explain``.  Same contract as metrics: reports are
+    bit-identical with the recorder on or off.
     """
     size_model = get_target(target)
     registry = as_registry(metrics)
+    if events is not None and events is not False:
+        if registry is None:
+            registry = MetricsRegistry()
+        attach_events(registry, events)
     store = artifact_store
     if store is None and cache_dir is not None:
         store = ArtifactStore(cache_dir)
@@ -189,6 +204,12 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     baseline_size = size_model.module_size(module)
     baseline_instructions = module.num_instructions()
 
+    # A registry coerced here (metrics=True/"deep") has no outside owner to
+    # stop the tracemalloc it may have started — close it before returning
+    # (spans are complete by then; close never discards recorded data).
+    owns_registry = registry is not None \
+        and not isinstance(metrics, MetricsRegistry)
+
     if technique == "none":
         result = PipelineResult(benchmark, technique, threshold, baseline_size,
                                 baseline_size, baseline_instructions,
@@ -197,6 +218,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                                 persist_stats=store.stats if store else None,
                                 metrics=registry)
         observe_pipeline_result(registry, result)
+        if owns_registry:
+            registry.close()
         return result
 
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
@@ -236,6 +259,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         metrics=registry,
     )
     observe_pipeline_result(registry, result)
+    if owns_registry:
+        registry.close()
     return result
 
 
@@ -296,7 +321,9 @@ def run_pipeline_incremental(module: Module,
                              artifact_store: Optional[ArtifactStore] = None,
                              parallel_workers: int = 0,
                              parallel_backend: str = "process",
-                             metrics: Union[None, bool, MetricsRegistry]
+                             metrics: Union[None, bool, str, MetricsRegistry]
+                             = None,
+                             events: Union[None, bool, EventLog]
                              = None) -> IncrementalRun:
     """Re-run the merge pipeline for ``module``, reusing ``state``.
 
@@ -321,9 +348,20 @@ def run_pipeline_incremental(module: Module,
     ``parallel_workers`` hands each run a *state-owned* long-lived engine:
     dirty candidate queries fan out to the existing worker pool instead of
     respawning one per delta (call ``state.close()`` when done).
+
+    ``metrics`` and ``events`` match :func:`run_pipeline`: the telemetry
+    registry and the flight recorder, both purely observational.  Replay
+    decisions (cache-hit verdicts, splice vs deterministic re-merge with the
+    ``named_key`` guard, state-snapshot provenance) land in the event log
+    with their reason codes.
     """
     size_model = get_target(target)
     registry = as_registry(metrics)
+    if events is not None and events is not False:
+        if registry is None:
+            registry = MetricsRegistry()
+        attach_events(registry, events)
+    events_log = registry.events if registry is not None else None
     store = artifact_store
     if store is None and cache_dir is not None:
         store = ArtifactStore(cache_dir)
@@ -332,8 +370,15 @@ def run_pipeline_incremental(module: Module,
         target=target, phi_coalescing=phi_coalescing,
         search_strategy=search_strategy)
     with maybe_span(registry, "incremental.delta"):
+        loaded_from_store = False
         if state is None and store is not None:
             state = load_state(store, config)
+            loaded_from_store = state is not None
+        if events_log is not None:
+            events_log.emit(
+                "state_load", benchmark=benchmark,
+                provenance="artifact_store" if loaded_from_store
+                else ("live_state" if state is not None else "cold_bootstrap"))
         if state is None:
             state = PipelineState(config, artifact_store=store)
         elif state.config.key() != config.key():
@@ -413,5 +458,7 @@ def run_pipeline_incremental(module: Module,
                 save_state(store, state)
         observe_pipeline_result(registry, result)
         observe_incremental_stats(registry, stats)
+    if registry is not None and not isinstance(metrics, MetricsRegistry):
+        registry.close()
     return IncrementalRun(result=result, state=state, delta=delta,
                           stats=stats)

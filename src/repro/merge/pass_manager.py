@@ -19,6 +19,17 @@ from typing import Dict, List, Optional, Set, Union
 from ..analysis.manager import ModuleAnalysisManager
 from ..analysis.size_model import SizeModel, X86_64
 from ..obs import as_registry, maybe_span
+from ..obs.events import (
+    REASON_BELOW_MIN_SIZE,
+    REASON_CANDIDATE_CONSUMED,
+    REASON_COST_MODEL,
+    REASON_MERGE_ERROR,
+    REASON_NAMED_KEY_MISMATCH,
+    REASON_NO_RECORDED_BODY,
+    REASON_OUTRANKED,
+    REASON_PROFITABLE,
+    REASON_TYPE_MISMATCH,
+)
 from ..parallel.stats import ParallelStats
 from ..persist.store import ArtifactStore, StoreStats
 from ..search import SearchStats, SearchStrategy, make_index, resolve_strategy
@@ -215,6 +226,10 @@ class FunctionMergingPass:
         options = self.options
         manager = analysis_manager
         registry = as_registry(metrics)
+        # The flight recorder, when one is attached to the registry (see
+        # repro.obs.events.attach_events): decision-level events only — every
+        # emission site is guarded, and nothing below reads the log back.
+        events = registry.events if registry is not None else None
         store = artifact_store
         if store is None and options.cache_dir is not None:
             store = ArtifactStore(options.cache_dir)
@@ -265,6 +280,13 @@ class FunctionMergingPass:
         report.persist_stats = store.stats if store is not None else None
         consumed: Set[Function] = set()
         worklist = index.functions_by_size()
+        if events is not None:
+            indexed = set(worklist)
+            for function in module.defined_functions():
+                if function not in indexed:
+                    events.emit("function_skipped", function=function.name,
+                                instructions=function.num_instructions(),
+                                reason=REASON_BELOW_MIN_SIZE)
 
         # Prefetched answers are used only while provably identical to what a
         # live query would return (see :func:`prefetch_answer_valid`); the
@@ -314,13 +336,23 @@ class FunctionMergingPass:
                         exclude=consumed)
                 best: Optional[MergedFunction] = None
                 best_decision: Optional[MergeDecision] = None
-                for candidate in candidates:
+                for rank, candidate in enumerate(candidates):
                     other = candidate.function
+                    if events is not None:
+                        events.emit("pair_considered", function=function.name,
+                                    candidate=other.name, rank=rank,
+                                    distance=candidate.distance,
+                                    strategy=self.search_strategy.name)
                     if other in consumed or other.parent is not module:
+                        if events is not None:
+                            events.emit("pair_skipped",
+                                        function=function.name,
+                                        candidate=other.name,
+                                        reason=REASON_CANDIDATE_CONSUMED)
                         continue
                     attempt = self._attempt(merger, module, function, other,
                                             report, cost_model, manager,
-                                            attempt_cache)
+                                            attempt_cache, events)
                     if attempt is None:
                         continue
                     merged, decision = attempt
@@ -331,21 +363,37 @@ class FunctionMergingPass:
                         or decision.benefit > best_decision.benefit
                     if better:
                         if best is not None:
+                            if events is not None and best_decision.profitable:
+                                events.emit("outranked",
+                                            function=function.name,
+                                            candidate=best.second.name,
+                                            by=other.name,
+                                            reason=REASON_OUTRANKED)
                             discard(best)
                         best, best_decision = merged, decision
                     else:
+                        if events is not None and decision.profitable:
+                            events.emit("outranked", function=function.name,
+                                        candidate=other.name,
+                                        by=best.second.name,
+                                        reason=REASON_OUTRANKED)
                         discard(merged)
 
                 if best is not None and best_decision is not None \
                         and best_decision.profitable:
                     if best.function is None:  # winning ghost: make it real
                         best = self._materialize(best, module, merger,
-                                                 attempt_cache)
+                                                 attempt_cache, events)
                     if attempt_cache is not None:
                         # Before thunking: the pair key is the originals'
                         # pre-commit digests (memoized, so this is cheap).
                         attempt_cache.note_commit(best)
                     self._commit(module, best, report, manager)
+                    if events is not None:
+                        events.emit("commit", first=best.first.name,
+                                    second=best.second.name,
+                                    merged=best.function.name,
+                                    benefit=best_decision.benefit)
                     consumed.add(best.first)
                     consumed.add(best.second)
                     index.remove(best.first)
@@ -366,6 +414,12 @@ class FunctionMergingPass:
                         added_since_prefetch.append(best.function)
                     report.profitable_merges += 1
                 elif best is not None:
+                    if events is not None:
+                        # The trial merged body is rolled back out of the
+                        # module: the round's best attempt was unprofitable.
+                        events.emit("rollback", function=function.name,
+                                    candidate=best.second.name,
+                                    reason=REASON_COST_MODEL)
                     discard(best)
 
         if options.technique == "fmsa" and options.model_fmsa_residue:
@@ -403,10 +457,15 @@ class FunctionMergingPass:
     def _attempt(self, merger, module: Module, function: Function, other: Function,
                  report: MergeReport, cost_model: Optional[CostModel] = None,
                  manager: Optional[ModuleAnalysisManager] = None,
-                 attempt_cache=None):
+                 attempt_cache=None, events=None):
         if cost_model is None:
             cost_model = self.options.resolved_cost_model()
         if function.return_type != other.return_type:
+            if events is not None:
+                events.emit("verdict", function=function.name,
+                            candidate=other.name, profitable=False,
+                            reason=REASON_TYPE_MISMATCH,
+                            provenance="pre_alignment")
             return None
         key = None
         if attempt_cache is not None:
@@ -415,6 +474,11 @@ class FunctionMergingPass:
             if entry is not None:
                 report.attempts += 1
                 if entry.failed:
+                    if events is not None:
+                        events.emit("verdict", function=function.name,
+                                    candidate=other.name, profitable=False,
+                                    reason=REASON_MERGE_ERROR,
+                                    provenance="attempt_cache")
                     return None
                 report.alignment_seconds += entry.alignment_seconds
                 report.codegen_seconds += entry.codegen_seconds
@@ -434,6 +498,19 @@ class FunctionMergingPass:
                     alignment_seconds=entry.alignment_seconds,
                     codegen_seconds=entry.codegen_seconds,
                     alignment_dp_cells=entry.alignment_dp_cells))
+                if events is not None:
+                    events.emit(
+                        "verdict", function=function.name,
+                        candidate=other.name, merged=name,
+                        profitable=entry.profitable,
+                        reason=REASON_PROFITABLE if entry.profitable
+                        else REASON_COST_MODEL,
+                        provenance="attempt_cache",
+                        original_size=entry.original_size,
+                        merged_size=entry.merged_size,
+                        overhead=entry.overhead,
+                        benefit=decision.benefit,
+                        matched_instructions=entry.matched_instructions)
                 return _CachedAttempt(function, other, name, entry), decision
         report.attempts += 1
         try:
@@ -441,6 +518,11 @@ class FunctionMergingPass:
         except MergeError:
             if attempt_cache is not None:
                 attempt_cache.record_failure(key)
+            if events is not None:
+                events.emit("verdict", function=function.name,
+                            candidate=other.name, profitable=False,
+                            reason=REASON_MERGE_ERROR,
+                            provenance="cold_compute")
             return None
         stats = merged.stats
         report.alignment_seconds += stats.alignment_seconds
@@ -448,6 +530,13 @@ class FunctionMergingPass:
         report.total_alignment_cells += stats.alignment_dp_cells
         report.peak_alignment_cells = max(report.peak_alignment_cells,
                                           stats.alignment_dp_cells)
+        if events is not None:
+            events.emit("alignment_scored", function=function.name,
+                        candidate=other.name,
+                        matched_instructions=stats.matched_instructions,
+                        dp_cells=stats.alignment_dp_cells,
+                        alignment_seconds=stats.alignment_seconds,
+                        codegen_seconds=stats.codegen_seconds)
         size_a = cost_model.function_size(function, manager)
         size_b = cost_model.function_size(other, manager)
         # The trial merged function is sized *without* the manager: it is
@@ -467,12 +556,24 @@ class FunctionMergingPass:
             alignment_seconds=stats.alignment_seconds,
             codegen_seconds=stats.codegen_seconds,
             alignment_dp_cells=stats.alignment_dp_cells))
+        if events is not None:
+            events.emit("verdict", function=function.name,
+                        candidate=other.name, merged=merged.function.name,
+                        profitable=decision.profitable,
+                        reason=REASON_PROFITABLE if decision.profitable
+                        else REASON_COST_MODEL,
+                        provenance="cold_compute",
+                        original_size=decision.original_size,
+                        merged_size=decision.merged_size,
+                        overhead=decision.overhead,
+                        benefit=decision.benefit,
+                        matched_instructions=stats.matched_instructions)
         if attempt_cache is not None:
             attempt_cache.record(key, decision, stats)
         return merged, decision
 
     def _materialize(self, ghost: "_CachedAttempt", module: Module,
-                     merger, attempt_cache) -> MergedFunction:
+                     merger, attempt_cache, events=None) -> MergedFunction:
         """Turn a winning ghost attempt into a live :class:`MergedFunction`.
 
         With a cached merged body the function is *spliced*: parsed straight
@@ -486,6 +587,10 @@ class FunctionMergingPass:
         """
         entry = ghost.entry
         if attempt_cache.splice_valid(entry, ghost.first, ghost.second):
+            if events is not None:
+                events.emit("materialize", first=ghost.first.name,
+                            second=ghost.second.name, merged=ghost.name,
+                            mode="splice", provenance="attempt_cache")
             function = parse_named_function(entry.merged_text, module=module)
             if function.name != ghost.name:
                 # Content-identical input pairs share one cache entry (the
@@ -499,6 +604,13 @@ class FunctionMergingPass:
             attempt_cache.merges_spliced += 1
             return MergedFunction(function, ghost.first, ghost.second,
                                   entry.param_map or {}, stats=ghost.stats)
+        if events is not None:
+            events.emit("materialize", first=ghost.first.name,
+                        second=ghost.second.name, merged=ghost.name,
+                        mode="recompute",
+                        reason=REASON_NO_RECORDED_BODY
+                        if entry.merged_text is None
+                        else REASON_NAMED_KEY_MISMATCH)
         merged = merger.merge(ghost.first, ghost.second)
         attempt_cache.merges_recomputed += 1
         if merged.function.name != ghost.name:

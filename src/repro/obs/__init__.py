@@ -16,6 +16,7 @@ the trend-gate workflow.
 from .registry import (
     DEFAULT_BUCKETS,
     DEFAULT_TIME_BUCKETS,
+    PHASE_ALLOC_GAUGE,
     PHASE_TIMER,
     Counter,
     Gauge,
@@ -30,9 +31,21 @@ from .trace import SpanRecord, format_trace
 from .export import (
     SNAPSHOT_SCHEMA,
     merge_snapshot_into,
+    parse_prometheus_text,
     registry_snapshot,
     to_prometheus_text,
 )
+from .events import (
+    EVENT_SCHEMA,
+    REASON_CODES,
+    Event,
+    EventLog,
+    as_event_log,
+    attach_events,
+)
+from .http import ObsHTTPServer, serve_metrics
+from .buckets import collect_timer_quantiles, derive_buckets, \
+    tuned_bucket_overrides
 from .adapters import (
     attach_all,
     observe_analysis_stats,
@@ -47,20 +60,31 @@ from .adapters import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_TIME_BUCKETS",
+    "EVENT_SCHEMA",
+    "PHASE_ALLOC_GAUGE",
     "PHASE_TIMER",
+    "REASON_CODES",
     "SNAPSHOT_SCHEMA",
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "ObsHTTPServer",
     "SpanRecord",
     "Timer",
+    "as_event_log",
     "as_registry",
     "attach_all",
+    "attach_events",
+    "collect_timer_quantiles",
+    "derive_buckets",
     "format_trace",
     "maybe_span",
     "merge_snapshot_into",
+    "parse_prometheus_text",
     "observe_analysis_stats",
     "observe_incremental_stats",
     "observe_merge_report",
@@ -69,5 +93,7 @@ __all__ = [
     "observe_search_stats",
     "observe_store_stats",
     "registry_snapshot",
+    "serve_metrics",
     "to_prometheus_text",
+    "tuned_bucket_overrides",
 ]

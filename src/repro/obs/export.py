@@ -21,7 +21,8 @@ values, so identical registries export identical bytes.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List
+import re
+from typing import Any, Dict, List, Tuple
 
 #: Version tag of the snapshot envelope; bump on incompatible shape changes
 #: so a parent never mis-folds a snapshot from a different code version.
@@ -94,11 +95,18 @@ def registry_snapshot(registry) -> Dict[str, Any]:
             "samples": [{"labels": list(values), **child._sample()}
                         for values, child in family.samples()],
         })
-    return {
+    snapshot = {
         "schema": SNAPSHOT_SCHEMA,
         "metrics": families,
         "spans": [record.as_dict() for record in registry.trace],
     }
+    events = getattr(registry, "events", None)
+    if events is not None:
+        # The flight recorder rides the same wire format: worker batches
+        # buffer events into their per-batch registries and the parent folds
+        # them back in batch order, exactly like the metric families above.
+        snapshot["events"] = events.as_payload()
+    return snapshot
 
 
 def merge_snapshot_into(registry, snapshot: Dict[str, Any]) -> None:
@@ -131,4 +139,85 @@ def merge_snapshot_into(registry, snapshot: Dict[str, Any]) -> None:
             name=span["name"], path=tuple(span["path"]),
             depth=int(span["depth"]), start=float(span["start"]),
             seconds=float(span["seconds"]),
-            peak_bytes=int(span["peak_bytes"]), index=base + position))
+            peak_bytes=int(span["peak_bytes"]), index=base + position,
+            alloc_bytes=int(span.get("alloc_bytes", 0))))
+    events = getattr(registry, "events", None)
+    if events is not None and snapshot.get("events") is not None:
+        events.merge_payload(snapshot["events"])
+
+
+# ---------------------------------------------------------------------------
+# Minimal exposition parser — the validation half of to_prometheus_text.
+# ---------------------------------------------------------------------------
+
+_SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?'
+    r'\s+(?P<value>\S+)$')
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace(r"\n", "\n").replace(r'\"', '"').replace(r"\\", "\\")
+
+
+def parse_prometheus_text(text: str
+                          ) -> Tuple[Dict[str, str],
+                                     List[Tuple[str, Dict[str, str], float]]]:
+    """Parse text exposition into ``(types, samples)``; raise on malformed.
+
+    A deliberately minimal Prometheus parser — ``# TYPE`` lines map metric
+    name to kind, sample lines become ``(name, labels, value)`` triples with
+    label values unescaped.  This is what the CI smoke step and the
+    exposition tests validate a live ``/metrics`` response with; it accepts
+    exactly the grammar :func:`to_prometheus_text` emits and raises
+    ``ValueError`` on anything else.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {number}: malformed TYPE: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# HELP "):
+                raise ValueError(f"line {number}: unknown comment: {line!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: malformed sample: {line!r}")
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(raw):
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                consumed = pair.end()
+                if consumed < len(raw) and raw[consumed] == ",":
+                    consumed += 1
+            if consumed != len(raw):
+                raise ValueError(f"line {number}: malformed labels: {raw!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        base = match.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[:-len(suffix)] in types:
+                base = base[:-len(suffix)]
+                break
+        if base not in types:
+            raise ValueError(f"line {number}: sample {match.group('name')!r} "
+                             f"has no preceding TYPE line")
+        samples.append((match.group("name"), labels, value))
+    return types, samples

@@ -1,0 +1,157 @@
+"""A stdlib HTTP exposition endpoint over a live registry + event log.
+
+This is the pre-wiring for the ROADMAP's resident merge service: one
+:class:`ObsHTTPServer` wraps a :class:`~repro.obs.MetricsRegistry` (and the
+flight recorder attached to it) and serves the run's telemetry while the
+pipeline is still mutating it:
+
+* ``GET /metrics`` — Prometheus text exposition (what a scraper polls);
+* ``GET /snapshot.json`` — the full JSON snapshot (families, spans, events);
+* ``GET /events.jsonl`` — the flight recorder as schema-versioned JSONL,
+  ready for ``python -m repro.obs.explain``;
+* ``GET /healthz`` — liveness probe (``ok``).
+
+Built on ``http.server.ThreadingHTTPServer`` only — no dependencies — and
+safe against concurrent mutation: the registry's family/child structures
+are lock-guarded (see :mod:`repro.obs.registry`), so a scrape mid-run sees
+a consistent family list with whatever counter values were current.
+
+Typical wiring::
+
+    registry = MetricsRegistry()
+    attach_events(registry, True)
+    with ObsHTTPServer(registry) as server:
+        print("serving on", server.url)
+        run_pipeline(module, "bench", metrics=registry)
+        ...  # scrape while the run is in flight
+
+The server binds ``127.0.0.1`` on an ephemeral port by default; pass
+``port=`` to pin one.  ``start()`` runs the serve loop on a daemon thread,
+so a crashed pipeline never hangs on a lingering endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .events import EventLog
+from .registry import MetricsRegistry
+
+#: Content type Prometheus scrapers expect from a text exposition endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+ROUTES = ("/metrics", "/snapshot.json", "/events.jsonl", "/healthz")
+
+
+class _ObsRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four read-only endpoints; everything else is 404."""
+
+    server: "ObsHTTPServer"
+
+    # Serving telemetry must never spam the pipeline's stdout.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, body: str, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._respond("ok\n", "text/plain; charset=utf-8")
+            elif path == "/metrics":
+                self._respond(self.server.registry.to_prometheus(),
+                              PROMETHEUS_CONTENT_TYPE)
+            elif path == "/snapshot.json":
+                self._respond(
+                    json.dumps(self.server.registry.snapshot(),
+                               sort_keys=True),
+                    "application/json; charset=utf-8")
+            elif path == "/events.jsonl":
+                events = self.server.event_log
+                if events is None:
+                    self._respond("no event log attached\n",
+                                  "text/plain; charset=utf-8", status=404)
+                else:
+                    self._respond(events.to_jsonl(),
+                                  "application/x-ndjson; charset=utf-8")
+            else:
+                self._respond(f"unknown path {path!r}; routes: "
+                              f"{', '.join(ROUTES)}\n",
+                              "text/plain; charset=utf-8", status=404)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+
+class ObsHTTPServer(ThreadingHTTPServer):
+    """Serve one registry (+ attached event log) over HTTP.
+
+    ``events`` defaults to whatever log :func:`repro.obs.attach_events`
+    attached to the registry; pass one explicitly to serve a standalone log.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, registry: MetricsRegistry,
+                 events: Optional[EventLog] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 start: bool = True) -> None:
+        self.registry = registry
+        self._events = events
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _ObsRequestHandler)
+        if start:
+            self.start()
+
+    @property
+    def event_log(self) -> Optional[EventLog]:
+        if self._events is not None:
+            return self._events
+        return getattr(self.registry, "events", None)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server_address[0]}:{self.port}"
+
+    def start(self) -> None:
+        """Run the serve loop on a daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(target=self.serve_forever,
+                                            name="repro-obs-http",
+                                            daemon=True)
+            self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "ObsHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_metrics(registry: MetricsRegistry,
+                  events: Optional[EventLog] = None,
+                  host: str = "127.0.0.1", port: int = 0) -> ObsHTTPServer:
+    """Start (and return) an :class:`ObsHTTPServer` for ``registry``."""
+    return ObsHTTPServer(registry, events=events, host=host, port=port)

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import bisect
 import re
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, \
+    Tuple
 
 from .trace import SpanRecord, _SpanFrame
 
@@ -59,6 +61,10 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 #: The phase-timer family every span observes into (labeled by phase name).
 PHASE_TIMER = "repro_phase_seconds"
+
+#: The per-phase net-allocation gauge deep mode (``metrics="deep"``) sums
+#: span allocation diffs into (labeled by phase name, merge mode "sum").
+PHASE_ALLOC_GAUGE = "repro_phase_alloc_bytes"
 
 #: Gauge merge modes: how two registries' samples of one gauge combine.
 GAUGE_MERGE_MODES = ("sum", "max", "min", "last")
@@ -167,6 +173,29 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) by linear interpolation within
+        the holding bucket — the usual Prometheus ``histogram_quantile``
+        estimate.  Returns 0.0 for an empty histogram; observations landing
+        in the implicit ``+Inf`` bucket clamp to the highest finite bound."""
+        if self.count == 0:
+            return 0.0
+        rank = max(0.0, min(1.0, q)) * self.count
+        running = 0
+        for position, bucket_count in enumerate(self.bucket_counts):
+            previous = running
+            running += bucket_count
+            if running >= rank and bucket_count:
+                hi = self.bounds[position] if position < len(self.bounds) \
+                    else self.bounds[-1]
+                lo = self.bounds[position - 1] if 0 < position <= len(self.bounds) \
+                    else 0.0
+                if position >= len(self.bounds):
+                    return hi
+                fraction = (rank - previous) / bucket_count
+                return lo + (hi - lo) * fraction
+        return self.bounds[-1]
+
     def _merge(self, other: "Histogram") -> None:
         if other.bounds != self.bounds:
             raise ValueError("cannot merge histograms with different bounds: "
@@ -188,10 +217,19 @@ class Histogram:
 
     def _sample(self) -> Dict[str, Any]:
         return {"buckets": list(self.bucket_counts), "sum": self.sum,
-                "count": self.count}
+                "count": self.count, "bounds": list(self.bounds)}
 
     def _restore(self, sample: Dict[str, Any]) -> None:
         shadow = Histogram(self.bounds)
+        bounds = sample.get("bounds")
+        if bounds is not None \
+                and tuple(float(bound) for bound in bounds) != self.bounds:
+            # Same-length ladders with different boundary values would fold
+            # counts into the wrong buckets without this check (e.g. tuned
+            # bounds on one side, defaults on the other).  Fail loudly.
+            raise ValueError(
+                f"snapshot histogram bounds {tuple(bounds)!r} do not match "
+                f"the receiving family's bounds {self.bounds!r}")
         buckets = list(sample["buckets"])
         if len(buckets) != len(shadow.bucket_counts):
             raise ValueError("snapshot bucket count does not match bounds")
@@ -243,6 +281,9 @@ class MetricFamily:
         self.buckets = tuple(buckets) if buckets is not None else None
         self.merge_mode = merge_mode
         self._children: Dict[Tuple[str, ...], Any] = {}
+        # Guards child creation and enumeration: a live exposition endpoint
+        # scrapes while the pipeline inserts new label sets concurrently.
+        self._lock = threading.RLock()
 
     def _make_child(self) -> Any:
         if self.kind == "counter":
@@ -263,12 +304,16 @@ class MetricFamily:
         key = tuple(str(labels[name]) for name in self.label_names)
         child = self._children.get(key)
         if child is None:
-            child = self._children[key] = self._make_child()
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make_child()
         return child
 
     def samples(self) -> List[Tuple[Tuple[str, ...], Any]]:
         """``(label values, child)`` pairs in sorted label order."""
-        return sorted(self._children.items())
+        with self._lock:
+            return sorted(self._children.items())
 
     def _compatible(self, other: "MetricFamily") -> bool:
         return (self.kind == other.kind
@@ -286,16 +331,41 @@ class MetricsRegistry:
     else's behalf (e.g. :func:`repro.harness.metrics.measure_peak_memory`),
     spans report the global peak without ever resetting it, so the outer
     measurement is never clobbered.
+
+    ``deep=True`` (implies ``trace_memory``; ``metrics="deep"`` at the
+    pipeline level) additionally diffs the traced byte count across every
+    span, attributing *net allocation* to phases: each
+    :class:`~repro.obs.trace.SpanRecord` carries ``alloc_bytes`` and the
+    ``repro_phase_alloc_bytes{phase}`` gauge family sums them.  Same
+    external-tracer guard as the peak: an already-running ``tracemalloc``
+    is read, never reset or stopped.
+
+    ``bucket_overrides`` maps family names to tuned histogram bounds (see
+    :mod:`repro.obs.buckets`): a histogram/timer family declared *without*
+    explicit buckets picks its override instead of the one-size default.
+    Overrides become part of the family declaration, so merging registries
+    (or folding snapshots) with mismatched bounds fails loudly instead of
+    silently mis-folding bucket counts.
     """
 
-    def __init__(self, trace_memory: bool = False) -> None:
+    def __init__(self, trace_memory: bool = False, deep: bool = False,
+                 bucket_overrides: Optional[Mapping[str, Sequence[float]]]
+                 = None) -> None:
         self._families: Dict[str, MetricFamily] = {}
         #: Completed spans in completion order (see :mod:`repro.obs.trace`).
         self.trace: List[SpanRecord] = []
+        #: Optional flight recorder (see :func:`repro.obs.events.attach_events`).
+        self.events = None
         self._span_stack: List[_SpanFrame] = []
         self._epoch = time.perf_counter()
+        self._bucket_overrides: Dict[str, Tuple[float, ...]] = {
+            name: tuple(float(bound) for bound in bounds)
+            for name, bounds in (bucket_overrides or {}).items()}
+        # Guards family creation/enumeration against concurrent scrapes.
+        self._lock = threading.RLock()
+        self.deep = deep
         self._owns_tracemalloc = False
-        if trace_memory and not tracemalloc.is_tracing():
+        if (trace_memory or deep) and not tracemalloc.is_tracing():
             tracemalloc.start()
             self._owns_tracemalloc = True
 
@@ -312,13 +382,19 @@ class MetricsRegistry:
                buckets: Optional[Sequence[float]] = None,
                merge_mode: str = "max") -> MetricFamily:
         """Get or declare the family for ``name``; re-declarations must agree."""
+        if buckets is None and kind in ("histogram", "timer"):
+            buckets = self._bucket_overrides.get(name)
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, kind, help=help,
-                                  label_names=label_names, buckets=buckets,
-                                  merge_mode=merge_mode)
-            self._families[name] = family
-            return family
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(name, kind, help=help,
+                                          label_names=label_names,
+                                          buckets=buckets,
+                                          merge_mode=merge_mode)
+                    self._families[name] = family
+                    return family
         probe = MetricFamily(name, kind, help=help, label_names=label_names,
                              buckets=buckets, merge_mode=merge_mode)
         if not family._compatible(probe):
@@ -331,7 +407,8 @@ class MetricsRegistry:
 
     def families(self) -> List[MetricFamily]:
         """Every declared family, sorted by name."""
-        return [self._families[name] for name in sorted(self._families)]
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
 
     # ------------------------------------------------------------ primitives
     def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
@@ -384,15 +461,24 @@ class MetricsRegistry:
             name=name,
             path=(parent.path + (name,)) if parent is not None else (name,))
         self._span_stack.append(frame)
+        alloc_start = None
+        if self.deep and tracemalloc.is_tracing():
+            alloc_start = tracemalloc.get_traced_memory()[0]
         started = time.perf_counter()
         try:
             yield
         finally:
             seconds = time.perf_counter() - started
             self._span_stack.pop()
+            alloc_bytes = 0
             if tracemalloc.is_tracing():
-                _, peak_now = tracemalloc.get_traced_memory()
+                current_now, peak_now = tracemalloc.get_traced_memory()
                 frame.peak_bytes = max(frame.peak_bytes, peak_now)
+                if alloc_start is not None:
+                    # Net allocation attributed to this phase (children
+                    # included, like the peak); negative means the phase
+                    # freed more than it allocated.
+                    alloc_bytes = current_now - alloc_start
                 if self._owns_tracemalloc:
                     tracemalloc.reset_peak()
             if parent is not None:
@@ -400,10 +486,16 @@ class MetricsRegistry:
             self.trace.append(SpanRecord(
                 name=name, path=frame.path, depth=len(frame.path) - 1,
                 start=started - self._epoch, seconds=seconds,
-                peak_bytes=frame.peak_bytes, index=len(self.trace)))
+                peak_bytes=frame.peak_bytes, index=len(self.trace),
+                alloc_bytes=alloc_bytes))
             self.timer(PHASE_TIMER,
                        help="Wall-clock of one traced pipeline phase.",
                        phase=name).observe(seconds)
+            if alloc_start is not None:
+                self.gauge(PHASE_ALLOC_GAUGE,
+                           help="Net traced allocation attributed to one "
+                                "phase (deep mode only; sums across spans).",
+                           merge_mode="sum", phase=name).inc(alloc_bytes)
 
     def phase_records(self, name: str) -> List[SpanRecord]:
         """Completed spans named ``name``, in completion order."""
@@ -438,7 +530,10 @@ class MetricsRegistry:
             self.trace.append(SpanRecord(
                 name=record.name, path=record.path, depth=record.depth,
                 start=record.start, seconds=record.seconds,
-                peak_bytes=record.peak_bytes, index=base + record.index))
+                peak_bytes=record.peak_bytes, index=base + record.index,
+                alloc_bytes=record.alloc_bytes))
+        if self.events is not None and getattr(other, "events", None) is not None:
+            self.events.merge(other.events)
         return self
 
     # -------------------------------------------------------------- snapshot
@@ -464,13 +559,16 @@ class MetricsRegistry:
 
 def as_registry(metrics) -> Optional[MetricsRegistry]:
     """Normalise a ``metrics=`` argument: None stays None (telemetry off),
-    ``True`` creates a fresh registry, a registry passes through."""
+    ``True`` creates a fresh registry, ``"deep"`` creates one with per-span
+    ``tracemalloc`` allocation attribution, a registry passes through."""
     if metrics is None or isinstance(metrics, MetricsRegistry):
         return metrics
     if metrics is True:
         return MetricsRegistry()
-    raise TypeError(f"metrics must be None, True or a MetricsRegistry, "
-                    f"got {type(metrics).__name__}")
+    if metrics == "deep":
+        return MetricsRegistry(trace_memory=True, deep=True)
+    raise TypeError(f"metrics must be None, True, \"deep\" or a "
+                    f"MetricsRegistry, got {type(metrics).__name__}")
 
 
 @contextmanager

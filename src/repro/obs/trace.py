@@ -37,6 +37,10 @@ class SpanRecord:
     peak_bytes: int
     #: Position in the owning registry's trace (completion order).
     index: int
+    #: Net traced allocation across the span (``metrics="deep"`` only, else
+    #: 0).  Children included; negative when the span freed more than it
+    #: allocated.
+    alloc_bytes: int = 0
 
     def as_dict(self) -> dict:
         """A plain-data rendering (what snapshots and exporters ship)."""
@@ -48,6 +52,7 @@ class SpanRecord:
             "seconds": self.seconds,
             "peak_bytes": self.peak_bytes,
             "index": self.index,
+            "alloc_bytes": self.alloc_bytes,
         }
 
 
@@ -69,6 +74,8 @@ def format_trace(records) -> str:
         indent = "  " * record.depth
         memory = f"  peak={record.peak_bytes / 1e6:.2f}MB" \
             if record.peak_bytes else ""
+        alloc = f"  alloc={record.alloc_bytes / 1e6:+.2f}MB" \
+            if record.alloc_bytes else ""
         lines.append(f"{indent}{record.name}: {record.seconds * 1e3:.2f}ms"
-                     f"{memory}")
+                     f"{memory}{alloc}")
     return "\n".join(lines)

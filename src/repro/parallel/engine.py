@@ -171,6 +171,8 @@ class ParallelEngine:
             "store_root": str(store.root) if store is not None else None,
             "want_signatures": want_signatures,
             "collect_obs": self.metrics is not None,
+            "collect_events": self.metrics is not None
+            and getattr(self.metrics, "events", None) is not None,
         }
         batches = make_batches([(digest, texts[digest]) for digest in digests],
                                self.pool.workers, self.config_batches())
@@ -282,6 +284,8 @@ class ParallelEngine:
             "threshold": threshold,
             "population": population,
             "collect_obs": self.metrics is not None,
+            "collect_events": self.metrics is not None
+            and getattr(self.metrics, "events", None) is not None,
         }
         batches = make_batches([function.name for function in queries],
                                self.pool.workers, self.config_batches())

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
-from ..obs import MetricsRegistry, maybe_span
+from ..obs import MetricsRegistry, attach_events, maybe_span
 
 from ..analysis.fingerprint import Fingerprint
 from ..analysis.size_model import get_target
@@ -81,8 +81,19 @@ def _batch_registry(context: dict) -> Optional[MetricsRegistry]:
     its own registry and ships it back as a JSON snapshot under the result's
     ``"obs"`` key; the parent engine folds snapshots in batch order, so the
     merged parent registry is deterministic however workers were scheduled.
+
+    ``shared["collect_events"]`` (set when the parent registry carries a
+    flight recorder) additionally attaches a per-batch
+    :class:`~repro.obs.EventLog`: worker decision events buffer into it,
+    ride home inside the same ``"obs"`` snapshot, and fold parent-side in
+    batch order — the exact contract the metric families follow.
     """
-    return MetricsRegistry() if context.get("collect_obs") else None
+    if not context.get("collect_obs"):
+        return None
+    registry = MetricsRegistry()
+    if context.get("collect_events"):
+        attach_events(registry, True)
+    return registry
 
 
 def ship_function(function: Function) -> Tuple[str, str, str]:
@@ -115,6 +126,7 @@ def _artifacts_prepare(shared: dict) -> dict:
         "hash_params": _signature_hash_family(strategy),
         "config_key": signature_config_key(strategy),
         "collect_obs": bool(shared.get("collect_obs")),
+        "collect_events": bool(shared.get("collect_events")),
     }
 
 
@@ -171,6 +183,14 @@ def _artifacts_run(context: dict, batch: List[Tuple[str, str]]) -> dict:
                 "signature": signature,
                 "signature_loaded": signature_loaded,
             }
+            if obs is not None and obs.events is not None:
+                data = {"digest": digest,
+                        "fingerprint": "artifact_store" if fingerprint_loaded
+                        else "cold_compute"}
+                if want_signatures:
+                    data["signature"] = "artifact_store" if signature_loaded \
+                        else "cold_compute"
+                obs.events.emit("artifact", **data)
     result: dict = {"artifacts": artifacts}
     if obs is not None:
         if store is not None:
@@ -252,6 +272,7 @@ def _candidates_prepare(shared: dict) -> dict:
         "by_name": {shim.name: shim for shim in shims},
         "threshold": shared["threshold"],
         "collect_obs": bool(shared.get("collect_obs")),
+        "collect_events": bool(shared.get("collect_events")),
     }
 
 

@@ -1,0 +1,123 @@
+"""Histogram-bucket tuning from trend quantiles, and its merge safety."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    collect_timer_quantiles,
+    derive_buckets,
+    tuned_bucket_overrides,
+)
+from repro.obs.buckets import MIN_SAMPLES, _round_sig
+
+
+class TestCollect:
+    def test_gathers_per_family_values(self):
+        rows = [
+            {"bench": "obs_overhead",
+             "timer_quantiles": {"repro_phase_seconds":
+                                 {"p50": 0.01, "p90": 0.05, "p99": 0.2}}},
+            {"bench": "obs_overhead",
+             "timer_quantiles": {"repro_phase_seconds": [0.02, 0.06]}},
+        ]
+        collected = collect_timer_quantiles(rows)
+        assert collected == {"repro_phase_seconds":
+                             [0.01, 0.05, 0.2, 0.02, 0.06]}
+
+    def test_ignores_junk(self):
+        rows = [
+            {"timer_quantiles": {"f": {"p50": 0.0, "p90": -1, "p99": "x"}}},
+            {"timer_quantiles": {"f": {"p50": float("inf"), "p90": True}}},
+            {"timer_quantiles": "not a mapping"},
+            {"no_quantiles": 1},
+        ]
+        assert collect_timer_quantiles(rows) == {}
+
+
+class TestDerive:
+    def test_log_spaced_ladder_covers_span(self):
+        bounds = derive_buckets([0.01, 0.05, 0.2])
+        assert bounds is not None
+        assert list(bounds) == sorted(set(bounds))
+        assert bounds[0] <= 0.01 / 4.0
+        assert bounds[-1] >= 0.2 * 4.0
+        # Every edge is 2-significant-figure clean.
+        assert all(_round_sig(bound) == bound for bound in bounds)
+
+    def test_too_few_samples_keeps_defaults(self):
+        assert derive_buckets([0.01] * (MIN_SAMPLES - 1)) is None
+        assert derive_buckets([]) is None
+
+    def test_degenerate_range_still_produces_ladder(self):
+        bounds = derive_buckets([0.01, 0.01, 0.01])
+        assert bounds is not None and len(bounds) >= 2
+
+    def test_nonpositive_and_nonfinite_filtered(self):
+        assert derive_buckets([0.0, -1.0, float("nan")]) is None
+
+
+class TestTunedOverrides:
+    def _trend(self, tmp_path, rows):
+        path = tmp_path / "trend.jsonl"
+        path.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+        return str(path)
+
+    def test_overrides_from_history(self, tmp_path):
+        rows = [{"bench": "obs_overhead",
+                 "timer_quantiles": {"repro_phase_seconds":
+                                     {"p50": 0.01, "p90": 0.04, "p99": 0.1}}}]
+        overrides = tuned_bucket_overrides(self._trend(tmp_path, rows))
+        assert set(overrides) == {"repro_phase_seconds"}
+        registry = MetricsRegistry(bucket_overrides=overrides)
+        timer = registry.timer("repro_phase_seconds", phase="x")
+        assert timer.bounds == overrides["repro_phase_seconds"]
+
+    def test_missing_file_yields_empty(self, tmp_path):
+        assert tuned_bucket_overrides(str(tmp_path / "nope.jsonl")) == {}
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "trend.jsonl"
+        path.write_text("not json\n[1,2]\n" + json.dumps(
+            {"timer_quantiles": {"f": {"p50": 1, "p90": 2, "p99": 3}}}) + "\n")
+        overrides = tuned_bucket_overrides(str(path))
+        assert set(overrides) == {"f"}
+
+    def test_sparse_families_omitted(self, tmp_path):
+        rows = [{"timer_quantiles": {"thin": {"p50": 0.01}}}]
+        assert tuned_bucket_overrides(self._trend(tmp_path, rows)) == {}
+
+    def test_default_path_never_raises(self):
+        # Whatever benchmarks/trend.jsonl holds (or doesn't), resolution of
+        # the default path must degrade to a plain dict.
+        assert isinstance(tuned_bucket_overrides(), dict)
+
+
+class TestMergeSafety:
+    OVERRIDES = {"repro_phase_seconds": (0.005, 0.05, 0.5)}
+
+    def test_mismatched_bounds_refuse_registry_merge(self):
+        tuned = MetricsRegistry(bucket_overrides=self.OVERRIDES)
+        tuned.timer("repro_phase_seconds", phase="x").observe(0.01)
+        default = MetricsRegistry()
+        default.timer("repro_phase_seconds", phase="x").observe(0.01)
+        with pytest.raises(ValueError):
+            tuned.merge(default)
+
+    def test_mismatched_bounds_refuse_snapshot_fold(self):
+        default = MetricsRegistry()
+        default.timer("repro_phase_seconds", phase="x").observe(0.01)
+        snapshot = default.snapshot()
+        tuned = MetricsRegistry(bucket_overrides=self.OVERRIDES)
+        tuned.timer("repro_phase_seconds", phase="x").observe(0.01)
+        with pytest.raises(ValueError, match="bounds"):
+            tuned.merge_snapshot(snapshot)
+
+    def test_same_overrides_merge_cleanly(self):
+        ours = MetricsRegistry(bucket_overrides=self.OVERRIDES)
+        ours.timer("repro_phase_seconds", phase="x").observe(0.01)
+        theirs = MetricsRegistry(bucket_overrides=self.OVERRIDES)
+        theirs.timer("repro_phase_seconds", phase="x").observe(0.3)
+        ours.merge_snapshot(theirs.snapshot())
+        assert ours.timer("repro_phase_seconds", phase="x").count == 2
