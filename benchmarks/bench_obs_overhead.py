@@ -13,6 +13,13 @@ has two halves, and this bench gates both:
   the ratio but never fail on CI timing noise); the trend gate tracks the
   series as advisory either way.
 
+A fourth **sink** mode runs the same workload with a deliberately tiny
+ring (:data:`SINK_RING_CAPACITY`) and a durable rotating
+:class:`~repro.obs.EventSink`: the ring must overflow, the rotated
+segments must still replay every emitted event (``sink_disk_missing == 0``),
+and the report digest must stay identical.  Its trend row lands under
+``bench="obs_sink"`` with its own ``check_trend.py`` policy.
+
 The trend rows double as the histogram-tuning feed: each row records the
 run's per-family timer quantiles (``timer_quantiles``) and per-phase net
 allocation (``phase_alloc``, deep mode), which
@@ -23,11 +30,13 @@ extends it to 256 and 1024 functions.
 """
 
 import os
+import tempfile
 import time
 
 from repro.harness import run_pipeline
 from repro.harness.experiments import merge_report_digest, search_workload
-from repro.obs import PHASE_ALLOC_GAUGE, MetricsRegistry, attach_events
+from repro.obs import (PHASE_ALLOC_GAUGE, EventLog, EventSink,
+                       MetricsRegistry, attach_events, read_sink_events)
 
 from conftest import FULL, append_trend, run_once
 
@@ -37,6 +46,12 @@ SIZES = (64,) if SMOKE else ((256, 1024) if FULL else (256,))
 ACCEPTANCE_SIZE = 1024
 #: Events-on wall-clock over events-off, upper bound (FULL runs only).
 MAX_OVERHEAD = 1.05
+
+#: Sink-mode ring capacity — deliberately tiny so the ring *must* drop and
+#: the durable sink is the only complete record (the contract under test).
+SINK_RING_CAPACITY = 64
+#: Sink-mode segment size — small enough to force several rotations.
+SINK_MAX_BYTES = 64 * 1024
 
 #: Timer families whose quantiles feed the bucket-tuning loop.
 QUANTILE_FAMILIES = (
@@ -85,21 +100,49 @@ def obs_overhead(sizes):
         timings = {}
         digests = {}
         registries = {}
-        for mode in ("off", "events", "deep"):
+        sink_stats = {}
+        for mode in ("off", "events", "deep", "sink"):
             module = search_workload(size)
             registry = None
+            sink_dir = None
             if mode == "events":
                 registry = MetricsRegistry()
                 attach_events(registry, True)
             elif mode == "deep":
                 registry = MetricsRegistry(trace_memory=True, deep=True)
                 attach_events(registry, True)
+            elif mode == "sink":
+                # Tiny ring + durable sink: the ring is guaranteed to
+                # overflow, and the rotated segments on disk must still
+                # hold every event the run emitted.
+                sink_dir = tempfile.TemporaryDirectory(prefix="repro-sink-")
+                registry = MetricsRegistry()
+                log = EventLog(capacity=SINK_RING_CAPACITY)
+                log.attach_sink(EventSink(sink_dir.name,
+                                          max_bytes=SINK_MAX_BYTES))
+                attach_events(registry, log)
             start = time.perf_counter()
             result = run_pipeline(module, "bench", technique="salssa",
                                   threshold=2, metrics=registry)
             timings[mode] = time.perf_counter() - start
             digests[mode] = merge_report_digest(result.report)
             registries[mode] = registry
+            if mode == "sink":
+                log = registry.events
+                sink = log.sink
+                sink.flush()
+                replayed = read_sink_events(sink.directory)
+                sink_stats = {
+                    "sink_seconds": timings["sink"],
+                    "sink_events_total": log.next_seq,
+                    "sink_ring_dropped": log.dropped,
+                    "sink_disk_events": len(replayed),
+                    "sink_disk_missing": log.next_seq - len(replayed),
+                    "sink_rotations": sink.rotations,
+                    "sink_write_errors": sink.write_errors,
+                }
+                sink.close()
+                sink_dir.cleanup()
             if registry is not None:
                 registry.close()
         events_log = registries["events"].events
@@ -115,9 +158,12 @@ def obs_overhead(sizes):
             "events_recorded": len(events_log),
             "events_dropped": events_log.dropped,
             "digests_match": digests["off"] == digests["events"]
-            == digests["deep"],
+            == digests["deep"] == digests["sink"],
             "timer_quantiles": _timer_quantiles(registries["events"]),
             "phase_alloc": _phase_alloc(registries["deep"]),
+            "sink_ratio": timings["sink"] / timings["off"]
+            if timings["off"] else 1.0,
+            **sink_stats,
         })
     return rows
 
@@ -134,6 +180,11 @@ def test_obs_event_overhead(benchmark):
               f"{row['events_recorded']} events "
               f"({row['events_dropped']} dropped), "
               f"digests_match={row['digests_match']}")
+        print(f"          sink: {row['sink_seconds']:.3f}s"
+              f" ({100 * (row['sink_ratio'] - 1):+.1f}%),"
+              f" {row['sink_disk_events']}/{row['sink_events_total']}"
+              f" events on disk across {row['sink_rotations'] + 1} segments,"
+              f" ring dropped {row['sink_ring_dropped']}")
     largest = max(SIZES)
     newest = next(r for r in rows if r["num_functions"] == largest)
     benchmark.extra_info["overhead_ratio"] = round(
@@ -147,6 +198,16 @@ def test_obs_event_overhead(benchmark):
         timer_quantiles=newest["timer_quantiles"],
         phase_alloc=newest["phase_alloc"],
         digests_match=all(r["digests_match"] for r in rows))
+    append_trend(
+        "obs_sink", num_functions=largest,
+        sink_ratio=round(newest["sink_ratio"], 4),
+        sink_events_total=newest["sink_events_total"],
+        sink_disk_events=newest["sink_disk_events"],
+        sink_disk_missing=newest["sink_disk_missing"],
+        sink_ring_dropped=newest["sink_ring_dropped"],
+        sink_rotations=newest["sink_rotations"],
+        sink_write_errors=newest["sink_write_errors"],
+        digests_match=all(r["digests_match"] for r in rows))
 
     # Bit-identity is the contract: asserted in every mode, every size.
     for row in rows:
@@ -154,6 +215,12 @@ def test_obs_event_overhead(benchmark):
             f"report diverged with the flight recorder on at " \
             f"{row['num_functions']} functions"
         assert row["events_recorded"] > 0, row
+    # Write-ahead contract: the ring must have overflowed *and* the disk
+    # replay must still hold every event, with zero failed writes.
+    for row in rows:
+        assert row["sink_ring_dropped"] > 0, row
+        assert row["sink_disk_missing"] == 0, row
+        assert row["sink_write_errors"] == 0, row
     # The overhead bar only binds at the acceptance size (FULL runs), where
     # per-event cost dominates fixed setup; smoke sizes report, never fail.
     for row in rows:

@@ -117,6 +117,17 @@ POLICIES: Dict[str, BenchPolicy] = {
                                        advisory=True),
             "events_dropped": MetricPolicy("lower", 0.0, abs_slack=0.0),
         }),
+    "obs_sink": BenchPolicy(
+        # The durable-sink contract is deterministic for a fixed workload:
+        # disk replay must never miss an event and writes must never fail
+        # (zero tolerance, zero slack).  Wall-clock ratio stays advisory.
+        context=("num_functions",),
+        metrics={
+            "sink_ratio": MetricPolicy("lower", 0.25, abs_slack=0.10,
+                                       advisory=True),
+            "sink_disk_missing": MetricPolicy("lower", 0.0, abs_slack=0.0),
+            "sink_write_errors": MetricPolicy("lower", 0.0, abs_slack=0.0),
+        }),
     "incremental": BenchPolicy(
         # digest parity (the digests_match correctness bit) fails
         # immediately on the newest row; the pair-reuse fraction is

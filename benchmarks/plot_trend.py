@@ -16,15 +16,23 @@ artifact::
 Series grouping reuses ``check_trend``'s policies, so both tools agree on
 what a series is; metrics without a policy are still plotted (advisory
 charts beat silent omission).
+
+``--ledger <store>`` additionally renders a **run-ledger lane**: one
+stacked phase-seconds bar per ``obs.run`` record found under the given
+artifact store (see ``docs/runs.md``), parsed directly from the store's
+JSON envelopes — this script stays stdlib-only and runs without
+``PYTHONPATH=src``.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import html
+import json
 import os
 import sys
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from check_trend import (DEFAULT_TREND, POLICIES, describe_series, load_rows,
                          series_key)
@@ -54,6 +62,10 @@ h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em;
 .meta { color: #678; font-size: 0.8em; }
 svg polyline { fill: none; stroke: #4464ad; stroke-width: 1.5; }
 svg circle { fill: #bb3e4e; }
+.lanes { margin-top: 0.6em; }
+.lane { margin-bottom: 0.5em; }
+.lane .name { font-weight: 600; font-size: 0.85em; font-family: monospace; }
+.lane .latest { font-size: 0.8em; color: #456; }
 """
 
 
@@ -135,7 +147,113 @@ def overlay_sparkline(series: Dict[str, List[float]]) -> str:
             f'</svg><div class="latest">{"<br/>".join(legend)}</div>')
 
 
-def render(rows: List[dict]) -> str:
+# ---------------------------------------------------------------------------
+# Run-ledger lane (--ledger): per-run phase-seconds stacked bars.
+#
+# Reads `<ledger>/objects/obs.run/*/*.json` store envelopes directly with
+# the stdlib — CI runs this script without PYTHONPATH=src, so importing
+# repro here is off the table.  The envelope/payload shapes are the ones
+# repro.persist.ArtifactStore and repro.obs.runs write; anything malformed
+# is skipped with a warning, mirroring the store's miss-never-error stance.
+# ---------------------------------------------------------------------------
+
+#: The store envelope schema ArtifactStore writes (see repro/persist/store.py).
+STORE_SCHEMA = 1
+RUN_KIND = "obs.run"
+
+LANE_WIDTH = 420
+LANE_HEIGHT = 14
+
+
+def load_ledger_runs(root: str) -> Tuple[List[dict], List[str]]:
+    """Every loadable ``obs.run`` payload under ``root``, oldest first."""
+    pattern = os.path.join(root, "objects", RUN_KIND, "*", "*.json")
+    runs: List[dict] = []
+    problems: List[str] = []
+    for path in sorted(glob.glob(pattern)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            problems.append(f"{path}: unreadable record, skipped")
+            continue
+        if (not isinstance(record, dict)
+                or record.get("schema") != STORE_SCHEMA
+                or record.get("kind") != RUN_KIND
+                or not isinstance(record.get("payload"), dict)):
+            problems.append(f"{path}: not an obs.run envelope, skipped")
+            continue
+        payload = record["payload"]
+        if not isinstance(payload.get("run_id"), str) \
+                or not isinstance(payload.get("phase_seconds"), dict):
+            problems.append(f"{path}: payload missing run_id/phase_seconds, "
+                            f"skipped")
+            continue
+        runs.append(payload)
+    runs.sort(key=lambda payload: (payload.get("unix_time", 0),
+                                   payload["run_id"]))
+    return runs, problems
+
+
+def _top_level_phases(phase_seconds: Dict[str, float]) -> Dict[str, float]:
+    """Drop dotted sub-spans (``merge.rank`` nests inside ``merge``) so the
+    stacked bar sums wall-clock once, not per nesting level."""
+    return {name: value for name, value in phase_seconds.items()
+            if "." not in name
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)}
+
+
+def render_ledger(runs: List[dict]) -> str:
+    """The per-run lane: one stacked phase-seconds bar per recorded run,
+    bars sharing one x-scale so relative run cost reads at a glance."""
+    phase_names = sorted({name for payload in runs
+                          for name in _top_level_phases(
+                              payload.get("phase_seconds", {}))})
+    colors = {name: OVERLAY_COLORS[index % len(OVERLAY_COLORS)]
+              for index, name in enumerate(phase_names)}
+    totals = [sum(_top_level_phases(p.get("phase_seconds", {})).values())
+              for p in runs]
+    scale = max(totals) or 1.0
+    lanes: List[str] = []
+    for payload, total in zip(runs, totals):
+        segments: List[str] = []
+        x = 0.0
+        for name in phase_names:
+            seconds = _top_level_phases(
+                payload.get("phase_seconds", {})).get(name, 0.0)
+            width = seconds / scale * LANE_WIDTH
+            if width > 0:
+                segments.append(
+                    f'<rect x="{x:.1f}" y="0" width="{width:.1f}" '
+                    f'height="{LANE_HEIGHT}" style="fill:{colors[name]}">'
+                    f'<title>{html.escape(name)}: {seconds:.4f}s</title>'
+                    f'</rect>')
+                x += width
+        label = (f"{payload['run_id'][:12]} "
+                 f"({payload.get('mode', '?')}, "
+                 f"{payload.get('benchmark', '?')}/"
+                 f"{payload.get('technique', '?')})")
+        reduction = payload.get("reduction_percent")
+        detail = f"{total:.3f}s"
+        if isinstance(reduction, (int, float)):
+            detail += f", {reduction:.2f}% reduction"
+        lanes.append(
+            f'<div class="lane"><span class="name">{html.escape(label)}'
+            f'</span> <span class="latest">{detail}</span><br/>'
+            f'<svg width="{LANE_WIDTH}" height="{LANE_HEIGHT}" '
+            f'viewBox="0 0 {LANE_WIDTH} {LANE_HEIGHT}">{"".join(segments)}'
+            f'</svg></div>')
+    legend = " &nbsp; ".join(
+        f'<span style="color:{colors[name]}">&#9632;</span> '
+        f'{html.escape(name)}' for name in phase_names)
+    return (f"<h2>run ledger ({len(runs)} recorded runs)</h2>"
+            f'<div class="meta">phase seconds per run, shared scale '
+            f'(max {scale:.3f}s) &mdash; {legend}</div>'
+            f'<div class="lanes">{"".join(lanes)}</div>')
+
+
+def render(rows: List[dict], ledger_runs: Optional[List[dict]] = None) -> str:
     series: Dict[Tuple, List[dict]] = {}
     for row in rows:
         policy = POLICIES.get(row["bench"])
@@ -184,6 +302,9 @@ def render(rows: List[dict]) -> str:
             f'{html.escape(commits[-1])} ({len(history)} rows)</div>'
             f'<div class="charts">{"".join(charts)}</div>')
 
+    if ledger_runs:
+        sections.append(render_ledger(ledger_runs))
+
     return (f"<!doctype html><html><head><meta charset='utf-8'>"
             f"<title>repro perf trends</title><style>{PAGE_STYLE}</style>"
             f"</head><body><h1>repro perf trends</h1>"
@@ -199,6 +320,10 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "trend.html"),
         help="output HTML path (default: benchmarks/trend.html)")
+    parser.add_argument("--ledger", metavar="STORE_DIR",
+                        help="run-ledger artifact store root (e.g. "
+                             "benchmarks/run.ledger); adds a per-run "
+                             "phase-seconds lane to the report")
     args = parser.parse_args(argv)
 
     if not os.path.exists(args.trend):
@@ -210,9 +335,19 @@ def main(argv=None) -> int:
     if not rows:
         print("plot_trend: trend file has no usable rows; nothing to plot")
         return 0
+    ledger_runs: List[dict] = []
+    if args.ledger:
+        ledger_runs, ledger_problems = load_ledger_runs(args.ledger)
+        for problem in ledger_problems:
+            print(f"plot_trend: WARNING {problem}")
+        if not ledger_runs:
+            print(f"plot_trend: no loadable obs.run records under "
+                  f"{args.ledger}; lane omitted")
     with open(args.out, "w", encoding="utf-8") as handle:
-        handle.write(render(rows))
-    print(f"plot_trend: wrote {args.out} ({len(rows)} rows)")
+        handle.write(render(rows, ledger_runs))
+    print(f"plot_trend: wrote {args.out} ({len(rows)} rows"
+          + (f", {len(ledger_runs)} ledger runs" if ledger_runs else "")
+          + ")")
     return 0
 
 

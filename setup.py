@@ -8,5 +8,7 @@ setup(entry_points={
     "console_scripts": [
         # Also reachable without installation: python -m repro.obs.explain
         "repro-explain=repro.obs.explain:main",
+        # Also reachable without installation: python -m repro.obs.runs
+        "repro-runs=repro.obs.runs:main",
     ],
 })

@@ -18,7 +18,8 @@ from ..analysis.size_model import SizeModel, X86_64, get_target
 from ..incremental import IncrementalConfig, IncrementalStats, ModuleDelta, \
     PipelineState, load_state, save_state
 from ..obs import EventLog, MetricsRegistry, as_registry, attach_events, \
-    maybe_span, observe_incremental_stats, observe_pipeline_result
+    attach_run_ledger, cached_bucket_overrides, maybe_span, \
+    observe_incremental_stats, observe_pipeline_result, record_pipeline_run
 from ..parallel.stats import ParallelStats
 from ..persist import ArtifactStore, PersistentAnalysisCache, StoreStats
 from ..search import SearchStrategy
@@ -120,6 +121,27 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
     )
 
 
+def _pipeline_registry(metrics, tuned_buckets: bool
+                       ) -> Optional[MetricsRegistry]:
+    """Coerce a ``metrics=`` argument, applying trend-tuned histogram
+    ladders to registries the *pipeline* creates (``True``/``"deep"``).
+
+    An explicitly passed registry is used as-is — its owner already chose
+    its ladders.  ``tuned_buckets=False`` is the opt-out; with no usable
+    quantile history in ``benchmarks/trend.jsonl``,
+    :func:`~repro.obs.cached_bucket_overrides` returns ``{}`` and behaviour
+    is byte-for-byte the untuned default.
+    """
+    if metrics is None or isinstance(metrics, MetricsRegistry):
+        return as_registry(metrics)
+    if metrics is not True and metrics != "deep":
+        return as_registry(metrics)  # reuse its TypeError message
+    overrides = cached_bucket_overrides() if tuned_buckets else {}
+    deep = metrics == "deep"
+    return MetricsRegistry(trace_memory=deep, deep=deep,
+                           bucket_overrides=overrides or None)
+
+
 def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  threshold: int = 1, target: str = "x86_64",
                  phi_coalescing: bool = True,
@@ -132,7 +154,9 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  parallel_workers: int = 0,
                  parallel_backend: str = "process",
                  metrics: Union[None, bool, str, MetricsRegistry] = None,
-                 events: Union[None, bool, EventLog] = None
+                 events: Union[None, bool, EventLog] = None,
+                 run_ledger=None,
+                 tuned_buckets: bool = True
                  ) -> PipelineResult:
     """Run the full pipeline on ``module`` (which is consumed/mutated).
 
@@ -181,13 +205,30 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     verdict, commit and rollback — inspect with ``python -m
     repro.obs.explain``.  Same contract as metrics: reports are
     bit-identical with the recorder on or off.
+
+    ``run_ledger`` (a :class:`~repro.obs.RunLedger`, an
+    :class:`~repro.persist.ArtifactStore` or a path to root one at) makes
+    the run finish by writing a durable :class:`~repro.obs.RunRecord` into
+    the ledger — query with ``repro-runs`` (see ``docs/runs.md``).  A
+    registry that already carries a ledger (via
+    :func:`~repro.obs.attach_run_ledger`) records without this argument.
+
+    ``tuned_buckets`` (default on) gives registries the pipeline creates
+    (``metrics=True``/``"deep"``) trend-tuned histogram ladders when
+    ``benchmarks/trend.jsonl`` carries enough quantile history per family;
+    pass ``False`` to keep the one-size default ladders.  Purely
+    observational either way.
     """
     size_model = get_target(target)
-    registry = as_registry(metrics)
+    registry = _pipeline_registry(metrics, tuned_buckets)
     if events is not None and events is not False:
         if registry is None:
-            registry = MetricsRegistry()
+            registry = _pipeline_registry(True, tuned_buckets)
         attach_events(registry, events)
+    if run_ledger is not None:
+        if registry is None:
+            registry = _pipeline_registry(True, tuned_buckets)
+        attach_run_ledger(registry, run_ledger)
     store = artifact_store
     if store is None and cache_dir is not None:
         store = ArtifactStore(cache_dir)
@@ -210,6 +251,15 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     owns_registry = registry is not None \
         and not isinstance(metrics, MetricsRegistry)
 
+    run_config = {
+        "target": target,
+        "phi_coalescing": phi_coalescing,
+        "search_strategy": search_strategy if isinstance(search_strategy, str)
+        else type(search_strategy).__name__,
+        "parallel_workers": parallel_workers,
+        "parallel_backend": parallel_backend,
+    }
+
     if technique == "none":
         result = PipelineResult(benchmark, technique, threshold, baseline_size,
                                 baseline_size, baseline_instructions,
@@ -218,6 +268,7 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                                 persist_stats=store.stats if store else None,
                                 metrics=registry)
         observe_pipeline_result(registry, result)
+        record_pipeline_run(registry, result, mode="cold", config=run_config)
         if owns_registry:
             registry.close()
         return result
@@ -259,6 +310,7 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
         metrics=registry,
     )
     observe_pipeline_result(registry, result)
+    record_pipeline_run(registry, result, mode="cold", config=run_config)
     if owns_registry:
         registry.close()
     return result
@@ -324,7 +376,9 @@ def run_pipeline_incremental(module: Module,
                              metrics: Union[None, bool, str, MetricsRegistry]
                              = None,
                              events: Union[None, bool, EventLog]
-                             = None) -> IncrementalRun:
+                             = None,
+                             run_ledger=None,
+                             tuned_buckets: bool = True) -> IncrementalRun:
     """Re-run the merge pipeline for ``module``, reusing ``state``.
 
     The incremental counterpart of :func:`run_pipeline` (see
@@ -354,13 +408,22 @@ def run_pipeline_incremental(module: Module,
     decisions (cache-hit verdicts, splice vs deterministic re-merge with the
     ``named_key`` guard, state-snapshot provenance) land in the event log
     with their reason codes.
+
+    ``run_ledger`` and ``tuned_buckets`` match :func:`run_pipeline`: the
+    durable run ledger (records land with ``mode="incremental"`` plus the
+    delta's :class:`~repro.incremental.IncrementalStats`) and the default-on
+    trend-tuned histogram ladders.
     """
     size_model = get_target(target)
-    registry = as_registry(metrics)
+    registry = _pipeline_registry(metrics, tuned_buckets)
     if events is not None and events is not False:
         if registry is None:
-            registry = MetricsRegistry()
+            registry = _pipeline_registry(True, tuned_buckets)
         attach_events(registry, events)
+    if run_ledger is not None:
+        if registry is None:
+            registry = _pipeline_registry(True, tuned_buckets)
+        attach_run_ledger(registry, run_ledger)
     events_log = registry.events if registry is not None else None
     store = artifact_store
     if store is None and cache_dir is not None:
@@ -458,6 +521,18 @@ def run_pipeline_incremental(module: Module,
                 save_state(store, state)
         observe_pipeline_result(registry, result)
         observe_incremental_stats(registry, stats)
+        record_pipeline_run(
+            registry, result, mode="incremental",
+            config={
+                "target": target,
+                "phi_coalescing": phi_coalescing,
+                "search_strategy": search_strategy
+                if isinstance(search_strategy, str)
+                else type(search_strategy).__name__,
+                "parallel_workers": parallel_workers,
+                "parallel_backend": parallel_backend,
+            },
+            incremental=vars(stats))
     if registry is not None and not isinstance(metrics, MetricsRegistry):
         registry.close()
     return IncrementalRun(result=result, state=state, delta=delta,

@@ -44,8 +44,25 @@ from .events import (
     attach_events,
 )
 from .http import ObsHTTPServer, serve_metrics
-from .buckets import collect_timer_quantiles, derive_buckets, \
-    tuned_bucket_overrides
+from .buckets import cached_bucket_overrides, collect_timer_quantiles, \
+    derive_buckets, tuned_bucket_overrides
+from .sink import (
+    SINK_SCHEMA,
+    EventSink,
+    RotatingSink,
+    SnapshotSink,
+    load_events_path,
+    read_sink_events,
+    replay_records,
+)
+from .runs import (
+    RUN_KIND,
+    RUN_SCHEMA,
+    RunLedger,
+    RunRecord,
+    attach_run_ledger,
+    record_pipeline_run,
+)
 from .adapters import (
     attach_all,
     observe_analysis_stats,
@@ -64,23 +81,37 @@ __all__ = [
     "PHASE_ALLOC_GAUGE",
     "PHASE_TIMER",
     "REASON_CODES",
+    "RUN_KIND",
+    "RUN_SCHEMA",
+    "SINK_SCHEMA",
     "SNAPSHOT_SCHEMA",
     "Counter",
     "Event",
     "EventLog",
+    "EventSink",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "ObsHTTPServer",
+    "RotatingSink",
+    "RunLedger",
+    "RunRecord",
+    "SnapshotSink",
     "SpanRecord",
     "Timer",
     "as_event_log",
     "as_registry",
     "attach_all",
     "attach_events",
+    "attach_run_ledger",
+    "cached_bucket_overrides",
     "collect_timer_quantiles",
     "derive_buckets",
+    "load_events_path",
+    "read_sink_events",
+    "record_pipeline_run",
+    "replay_records",
     "format_trace",
     "maybe_span",
     "merge_snapshot_into",

@@ -107,6 +107,39 @@ def derive_buckets(samples: Sequence[float],
     return tuple(bounds)
 
 
+def _default_trend_path() -> str:
+    return os.path.normpath(os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        os.pardir, os.pardir, "benchmarks", "trend.jsonl"))
+
+
+#: ``(path, points) -> ((mtime_ns, size), overrides)`` — the pipeline applies
+#: tuned ladders by default, so the trend file must not be re-parsed on
+#: every ``run_pipeline`` call; the stat signature invalidates on append.
+_TUNED_CACHE: Dict[Tuple[str, int], Tuple[Tuple[int, int],
+                                          Dict[str, Tuple[float, ...]]]] = {}
+
+
+def cached_bucket_overrides(trend_path: Optional[str] = None,
+                            points: int = DEFAULT_LADDER_POINTS
+                            ) -> Dict[str, Tuple[float, ...]]:
+    """:func:`tuned_bucket_overrides`, memoized on the trend file's stat
+    signature — what the pipeline's default-on tuning calls per run."""
+    if trend_path is None:
+        trend_path = _default_trend_path()
+    try:
+        status = os.stat(trend_path)
+    except OSError:
+        return {}
+    signature = (status.st_mtime_ns, status.st_size)
+    cached = _TUNED_CACHE.get((trend_path, points))
+    if cached is not None and cached[0] == signature:
+        return dict(cached[1])
+    overrides = tuned_bucket_overrides(trend_path, points=points)
+    _TUNED_CACHE[(trend_path, points)] = (signature, overrides)
+    return dict(overrides)
+
+
 def tuned_bucket_overrides(trend_path: Optional[str] = None,
                            points: int = DEFAULT_LADDER_POINTS
                            ) -> Dict[str, Tuple[float, ...]]:
@@ -119,10 +152,7 @@ def tuned_bucket_overrides(trend_path: Optional[str] = None,
     optimisation, never a requirement.
     """
     if trend_path is None:
-        trend_path = os.path.join(os.path.dirname(os.path.dirname(
-            os.path.abspath(__file__))), os.pardir, os.pardir,
-            "benchmarks", "trend.jsonl")
-        trend_path = os.path.normpath(trend_path)
+        trend_path = _default_trend_path()
     rows: List[dict] = []
     try:
         with open(trend_path, "r", encoding="utf-8") as handle:

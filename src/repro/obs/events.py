@@ -127,6 +127,7 @@ class EventLog:
         #: ``repro_events_dropped_total`` on an attached registry).
         self.dropped = 0
         self._registry = None
+        self._sink = None
         # Guards the ring against a live exposition endpoint serializing it
         # while the pipeline (or another worker fold) is still emitting.
         self._lock = threading.RLock()
@@ -137,6 +138,10 @@ class EventLog:
         with self._lock:
             event = Event(seq=self.next_seq, kind=kind, data=data)
             self.next_seq += 1
+            # Write-ahead: the sink sees the event before the ring can evict
+            # it, so disk-side history is complete even when `dropped` grows.
+            if self._sink is not None:
+                self._sink.append_event(event)
             if len(self._events) >= self.capacity:
                 self._events.popleft()
                 self.dropped += 1
@@ -147,6 +152,27 @@ class EventLog:
                              "buffer (oldest first).").inc()
             self._events.append(event)
         return event
+
+    def attach_sink(self, sink) -> None:
+        """Attach a durable sink (an :class:`~repro.obs.sink.EventSink`).
+
+        Every subsequent :meth:`emit` — including worker-batch events folded
+        through :meth:`merge_payload` — is written through to the sink
+        *before* ring eviction, so the disk-side history never drops even
+        when the in-memory ring does.  Events still retained at attach time
+        are spilled immediately (history already evicted is gone — attach
+        the sink before the run for completeness).  ``None`` detaches.
+        """
+        with self._lock:
+            self._sink = sink
+            if sink is not None:
+                for event in self._events:
+                    sink.append_event(event)
+
+    @property
+    def sink(self):
+        """The attached durable sink, or ``None``."""
+        return self._sink
 
     def attach_metrics(self, registry) -> None:
         """Expose drop accounting on ``registry`` (None detaches)."""
@@ -220,6 +246,22 @@ class EventLog:
         lines.extend(json.dumps(event.as_dict(), sort_keys=True)
                      for event in retained)
         return "\n".join(lines) + "\n"
+
+    def history_jsonl(self) -> str:
+        """Full recorded history as JSONL, preferring the durable sink.
+
+        With a sink attached the rendered stream replays every event ever
+        emitted (rotated segments included) with a disk-side drop count of
+        zero — what ``/events.jsonl`` should serve once the ring has
+        overflowed.  Without a sink this is just :meth:`to_jsonl`.
+        """
+        with self._lock:
+            sink = self._sink
+        if sink is None:
+            return self.to_jsonl()
+        from .sink import sink_history_jsonl
+        sink.flush()
+        return sink_history_jsonl(sink.directory, sink.prefix)
 
     def write_jsonl(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

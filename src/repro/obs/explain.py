@@ -11,6 +11,11 @@ into answers without re-running anything:
     $ python -m repro.obs.explain run.events.jsonl --slowest 10    # hot spots
     $ python -m repro.obs.explain run.events.jsonl --diff old.jsonl
 
+Wherever a log path is accepted, a durable :class:`~repro.obs.EventSink`
+directory works too — rotated segments are replayed in order, so the
+reconstructed log contains every event even when the in-memory ring
+dropped some (see :mod:`repro.obs.sink`).
+
 ``--pair`` prints the pair's full decision timeline — consideration (index
 strategy and query rank), alignment score, profitability verdict with its
 reason code and cost-model numbers, cache provenance, and whether the merge
@@ -203,7 +208,8 @@ def _print_slowest(log: EventLog, top: int) -> int:
 
 
 def _print_diff(log: EventLog, other_path: str) -> int:
-    other = EventLog.read_jsonl(other_path)
+    from .sink import load_events_path
+    other = load_events_path(other_path)
     delta = diff_logs(log, other)
     print(f"verdict diff vs {other_path}: {len(delta['changed'])} changed, "
           f"{len(delta['only_ours'])} only here, "
@@ -241,16 +247,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "(see docs/events.md).")
     parser.add_argument("log", help="events.jsonl written by "
                                     "EventLog.write_jsonl or served at "
-                                    "/events.jsonl")
+                                    "/events.jsonl, or an EventSink "
+                                    "directory of rotated segments")
     parser.add_argument("--pair", metavar="FIRST,SECOND",
                         help="explain why this pair was or wasn't merged")
     parser.add_argument("--slowest", type=int, metavar="K",
                         help="print the K slowest recorded attempts")
     parser.add_argument("--diff", metavar="OTHER.JSONL",
-                        help="diff final per-pair verdicts against another log")
+                        help="diff final per-pair verdicts against another "
+                             "log (file or sink directory)")
     args = parser.parse_args(argv)
+    from .sink import load_events_path
     try:
-        log = EventLog.read_jsonl(args.log)
+        log = load_events_path(args.log)
     except (OSError, ValueError) as error:
         print(f"cannot read {args.log}: {error}", file=sys.stderr)
         return 2

@@ -356,6 +356,10 @@ class MetricsRegistry:
         self.trace: List[SpanRecord] = []
         #: Optional flight recorder (see :func:`repro.obs.events.attach_events`).
         self.events = None
+        #: Optional durable run ledger (see
+        #: :func:`repro.obs.runs.attach_run_ledger`): when attached, the
+        #: pipeline entry points record one RunRecord per invocation.
+        self.run_ledger = None
         self._span_stack: List[_SpanFrame] = []
         self._epoch = time.perf_counter()
         self._bucket_overrides: Dict[str, Tuple[float, ...]] = {
@@ -368,6 +372,16 @@ class MetricsRegistry:
         if (trace_memory or deep) and not tracemalloc.is_tracing():
             tracemalloc.start()
             self._owns_tracemalloc = True
+
+    @property
+    def bucket_overrides(self) -> Dict[str, Tuple[float, ...]]:
+        """The tuned-bucket ladders this registry was built with (a copy).
+
+        The parallel engine ships these to worker-batch registries so both
+        sides declare identical histogram bounds — mismatched ladders refuse
+        to merge by design.
+        """
+        return dict(self._bucket_overrides)
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:

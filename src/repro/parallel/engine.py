@@ -173,6 +173,10 @@ class ParallelEngine:
             "collect_obs": self.metrics is not None,
             "collect_events": self.metrics is not None
             and getattr(self.metrics, "events", None) is not None,
+            # Worker-batch registries must declare the same histogram
+            # ladders as the parent — mismatched bounds refuse to merge.
+            "bucket_overrides": self.metrics.bucket_overrides
+            if self.metrics is not None else None,
         }
         batches = make_batches([(digest, texts[digest]) for digest in digests],
                                self.pool.workers, self.config_batches())
@@ -286,6 +290,8 @@ class ParallelEngine:
             "collect_obs": self.metrics is not None,
             "collect_events": self.metrics is not None
             and getattr(self.metrics, "events", None) is not None,
+            "bucket_overrides": self.metrics.bucket_overrides
+            if self.metrics is not None else None,
         }
         batches = make_batches([function.name for function in queries],
                                self.pool.workers, self.config_batches())

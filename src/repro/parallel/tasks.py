@@ -90,7 +90,11 @@ def _batch_registry(context: dict) -> Optional[MetricsRegistry]:
     """
     if not context.get("collect_obs"):
         return None
-    registry = MetricsRegistry()
+    # The parent's tuned ladders (if any) ride along in shared state: both
+    # sides must declare identical histogram bounds or the snapshot fold
+    # refuses to merge — by design, never silently.
+    registry = MetricsRegistry(
+        bucket_overrides=context.get("bucket_overrides") or None)
     if context.get("collect_events"):
         attach_events(registry, True)
     return registry
@@ -127,6 +131,7 @@ def _artifacts_prepare(shared: dict) -> dict:
         "config_key": signature_config_key(strategy),
         "collect_obs": bool(shared.get("collect_obs")),
         "collect_events": bool(shared.get("collect_events")),
+        "bucket_overrides": shared.get("bucket_overrides"),
     }
 
 
@@ -273,6 +278,7 @@ def _candidates_prepare(shared: dict) -> dict:
         "threshold": shared["threshold"],
         "collect_obs": bool(shared.get("collect_obs")),
         "collect_events": bool(shared.get("collect_events")),
+        "bucket_overrides": shared.get("bucket_overrides"),
     }
 
 

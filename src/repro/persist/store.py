@@ -232,6 +232,25 @@ class ArtifactStore:
         self.stats.stores += 1
         return True
 
+    # ------------------------------------------------------------ inventory
+    def iter_digests(self, kind: str) -> Iterable[str]:
+        """Every digest with a record filed under ``kind`` (unvalidated:
+        the names on disk, in no particular order — a later :meth:`load`
+        still applies the full robustness contract to each)."""
+        kind_dir = self.root / "objects" / (
+            _UNSAFE_PATH_CHARS.sub("_", kind) or "_")
+        try:
+            fan_dirs = [path for path in kind_dir.iterdir() if path.is_dir()]
+        except OSError:
+            return
+        for fan_dir in fan_dirs:
+            try:
+                records = list(fan_dir.glob("*.json"))
+            except OSError:
+                continue
+            for record in records:
+                yield record.name[:-len(".json")]
+
     # ------------------------------------------------------------ compaction
     def compact(self, live_digests, kinds: Optional[Iterable[str]] = None) -> int:
         """Garbage-collect records whose digest is not in ``live_digests``.

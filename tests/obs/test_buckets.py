@@ -4,12 +4,16 @@ import json
 
 import pytest
 
+from repro.harness.experiments import merge_report_digest, search_workload
+from repro.harness.pipeline import run_pipeline
 from repro.obs import (
     MetricsRegistry,
+    cached_bucket_overrides,
     collect_timer_quantiles,
     derive_buckets,
     tuned_bucket_overrides,
 )
+from repro.obs import buckets
 from repro.obs.buckets import MIN_SAMPLES, _round_sig
 
 
@@ -121,3 +125,94 @@ class TestMergeSafety:
         theirs.timer("repro_phase_seconds", phase="x").observe(0.3)
         ours.merge_snapshot(theirs.snapshot())
         assert ours.timer("repro_phase_seconds", phase="x").count == 2
+
+
+def write_trend(path, families=("repro_phase_seconds",), rows=2):
+    lines = [json.dumps({
+        "bench": "obs_overhead",
+        "timer_quantiles": {family: {"p50": 0.01, "p90": 0.05, "p99": 0.2}
+                            for family in families}})] * rows
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCachedOverrides:
+    def test_missing_file_yields_empty_and_never_raises(self, tmp_path):
+        assert cached_bucket_overrides(str(tmp_path / "absent.jsonl")) == {}
+
+    def test_memoized_on_stat_signature(self, tmp_path):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        first = cached_bucket_overrides(str(trend))
+        assert "repro_phase_seconds" in first
+        assert cached_bucket_overrides(str(trend)) == first
+        # An append invalidates the cache (size changes).
+        write_trend(trend, families=("repro_phase_seconds",
+                                     "repro_merge_alignment_seconds"))
+        assert "repro_merge_alignment_seconds" in \
+            cached_bucket_overrides(str(trend))
+
+    def test_mutating_the_returned_dict_is_safe(self, tmp_path):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        cached_bucket_overrides(str(trend)).clear()
+        assert cached_bucket_overrides(str(trend)) != {}
+
+
+class TestPipelineTunedDefault:
+    """`run_pipeline(metrics=True)` applies tuned ladders by default —
+    but only when trend history exists, only to registries it creates,
+    and never when `tuned_buckets=False` opts out."""
+
+    def run(self, **kwargs):
+        module = search_workload(32, seed=3)
+        return run_pipeline(module, "tuned-test", technique="salssa",
+                            threshold=1, **kwargs)
+
+    def test_default_off_without_trend_history(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(buckets, "_default_trend_path",
+                            lambda: str(tmp_path / "absent.jsonl"))
+        result = self.run(metrics=True)
+        assert result.metrics.bucket_overrides == {}
+
+    def test_default_on_with_trend_history(self, tmp_path, monkeypatch):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        monkeypatch.setattr(buckets, "_default_trend_path",
+                            lambda: str(trend))
+        result = self.run(metrics=True)
+        assert "repro_phase_seconds" in result.metrics.bucket_overrides
+        # The tuned family actually carries the tuned ladder.
+        family = next(f for f in result.metrics.families()
+                      if f.name == "repro_phase_seconds")
+        [(_, child)] = list(family.samples())[:1]
+        assert child.bounds == \
+            result.metrics.bucket_overrides["repro_phase_seconds"]
+
+    def test_opt_out_knob(self, tmp_path, monkeypatch):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        monkeypatch.setattr(buckets, "_default_trend_path",
+                            lambda: str(trend))
+        result = self.run(metrics=True, tuned_buckets=False)
+        assert result.metrics.bucket_overrides == {}
+
+    def test_caller_registry_never_reshaped(self, tmp_path, monkeypatch):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        monkeypatch.setattr(buckets, "_default_trend_path",
+                            lambda: str(trend))
+        registry = MetricsRegistry()
+        result = self.run(metrics=registry)
+        assert result.metrics is registry
+        assert registry.bucket_overrides == {}
+
+    def test_digest_identical_with_tuning_on_and_off(self, tmp_path,
+                                                     monkeypatch):
+        trend = tmp_path / "trend.jsonl"
+        write_trend(trend)
+        monkeypatch.setattr(buckets, "_default_trend_path",
+                            lambda: str(trend))
+        tuned = self.run(metrics=True)
+        plain = self.run(metrics=True, tuned_buckets=False)
+        assert merge_report_digest(tuned.report) == \
+            merge_report_digest(plain.report)

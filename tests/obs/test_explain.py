@@ -7,7 +7,7 @@ import pytest
 
 from repro.harness.experiments import search_workload
 from repro.harness.pipeline import run_pipeline
-from repro.obs import EventLog, REASON_CODES
+from repro.obs import EventLog, EventSink, REASON_CODES
 from repro.obs.explain import (
     diff_logs,
     explain_pair,
@@ -159,6 +159,19 @@ class TestCli:
         assert main([path, "--diff", path]) == 0
         out = capsys.readouterr().out
         assert "0 changed" in out
+
+    def test_accepts_sink_directory(self, recorded, tmp_path, capsys):
+        # A rotating-sink directory works anywhere a log file does.
+        _, log = recorded
+        sink_dir = tmp_path / "sink"
+        spill = EventLog.from_jsonl(log.history_jsonl())
+        spill.attach_sink(EventSink(sink_dir))
+        assert main([str(sink_dir)]) == 0
+        from_sink = capsys.readouterr().out
+        assert main([self._write(tmp_path, log)]) == 0
+        assert from_sink == capsys.readouterr().out
+        assert main([str(sink_dir), "--diff", str(sink_dir)]) == 0
+        assert "0 changed" in capsys.readouterr().out
 
     def test_module_entry_point(self, recorded, tmp_path):
         _, log = recorded
