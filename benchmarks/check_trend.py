@@ -128,6 +128,35 @@ POLICIES: Dict[str, BenchPolicy] = {
             "sink_disk_missing": MetricPolicy("lower", 0.0, abs_slack=0.0),
             "sink_write_errors": MetricPolicy("lower", 0.0, abs_slack=0.0),
         }),
+    "service": BenchPolicy(
+        # Warm-vs-cold ratio and latencies are wall-clock (advisory on
+        # noisy runners); pool_spawns is deterministic — more than one
+        # spawn generation per daemon lifetime means residency broke; the
+        # digests_match correctness bit fails immediately as always.
+        context=("num_functions",),
+        metrics={
+            "warm_cold_ratio": MetricPolicy("higher", 0.25, advisory=True),
+            "warm_p50_seconds": MetricPolicy("lower", 0.25, abs_slack=0.05,
+                                             advisory=True),
+            "batch_seconds": MetricPolicy("lower", 0.25, abs_slack=0.05,
+                                          advisory=True),
+            "pool_spawns": MetricPolicy("lower", 0.0, abs_slack=0.0),
+        }),
+    "service_load": BenchPolicy(
+        # Open-loop load-generator lane: throughput/latency are wall-clock
+        # and advisory; the error count is deterministic and gated at zero.
+        context=("sessions", "jobs", "num_functions", "host_cpus"),
+        metrics={
+            "latency_p50_seconds": MetricPolicy("lower", 0.25,
+                                                abs_slack=0.05,
+                                                advisory=True),
+            "latency_p95_seconds": MetricPolicy("lower", 0.25,
+                                                abs_slack=0.10,
+                                                advisory=True),
+            "jobs_per_second": MetricPolicy("higher", 0.25, advisory=True),
+            "warm_cold_ratio": MetricPolicy("higher", 0.25, advisory=True),
+            "errors": MetricPolicy("lower", 0.0, abs_slack=0.0),
+        }),
     "incremental": BenchPolicy(
         # digest parity (the digests_match correctness bit) fails
         # immediately on the newest row; the pair-reuse fraction is

@@ -106,7 +106,8 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
                       search_strategy: Union[str, SearchStrategy] = "exhaustive",
                       cache_dir: Optional[str] = None,
                       parallel_workers: int = 0,
-                      parallel_backend: str = "process"
+                      parallel_backend: str = "process",
+                      parallel_persistent: bool = False
                       ) -> MergePassOptions:
     """Build pass options for one experimental configuration."""
     return MergePassOptions(
@@ -118,6 +119,7 @@ def make_pass_options(technique: str, threshold: int, size_model: SizeModel,
         cache_dir=cache_dir,
         parallel_workers=parallel_workers,
         parallel_backend=parallel_backend,
+        parallel_persistent=parallel_persistent,
     )
 
 
@@ -153,6 +155,7 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
                  artifact_store: Optional[ArtifactStore] = None,
                  parallel_workers: int = 0,
                  parallel_backend: str = "process",
+                 parallel_persistent: bool = False,
                  metrics: Union[None, bool, str, MetricsRegistry] = None,
                  events: Union[None, bool, EventLog] = None,
                  run_ledger=None,
@@ -276,7 +279,8 @@ def run_pipeline(module: Module, benchmark: str, technique: str = "salssa",
     options = make_pass_options(technique, threshold, size_model, phi_coalescing,
                                 search_strategy=search_strategy,
                                 parallel_workers=parallel_workers,
-                                parallel_backend=parallel_backend)
+                                parallel_backend=parallel_backend,
+                                parallel_persistent=parallel_persistent)
     merging_pass = FunctionMergingPass(options)
 
     peak_bytes = 0
@@ -373,6 +377,7 @@ def run_pipeline_incremental(module: Module,
                              artifact_store: Optional[ArtifactStore] = None,
                              parallel_workers: int = 0,
                              parallel_backend: str = "process",
+                             parallel_persistent: bool = False,
                              metrics: Union[None, bool, str, MetricsRegistry]
                              = None,
                              events: Union[None, bool, EventLog]
@@ -468,7 +473,8 @@ def run_pipeline_incremental(module: Module,
             technique, threshold, size_model, phi_coalescing,
             search_strategy=search_strategy,
             parallel_workers=parallel_workers,
-            parallel_backend=parallel_backend)
+            parallel_backend=parallel_backend,
+            parallel_persistent=parallel_persistent)
         merging_pass = FunctionMergingPass(options)
         engine = state.engine_for(merging_pass.parallel_config, registry)
         engine_before = None
@@ -476,6 +482,7 @@ def run_pipeline_incremental(module: Module,
             import copy as _copy
             engine_before = _copy.copy(engine.stats)
         state.cache.begin_run()
+        evicted_before = state.cache.evicted
         started = time.perf_counter()
         with maybe_span(registry, "incremental.merge"):
             report = merging_pass.run(
@@ -512,6 +519,7 @@ def run_pipeline_incremental(module: Module,
             merges_spliced=state.cache.merges_spliced,
             merges_recomputed=state.cache.merges_recomputed,
             attempts=report.attempts,
+            cache_evicted=state.cache.evicted - evicted_before,
             wall_seconds=merge_seconds,
         )
         state.report = report

@@ -77,6 +77,9 @@ class AttemptOutcome:
     #: Named text of the merged body — present once the pair was committed
     #: by some run; parsed back in (spliced) on replayed commits.
     merged_text: Optional[str] = None
+    #: Content digest of the committed merged function (used by ``compact``
+    #: to chase liveness through merge chains).
+    merged_digest: Optional[str] = None
     #: :func:`pair_named_key` of the inputs the text was recorded from.
     named_key: Optional[str] = None
     #: per input function (0/1): original argument index -> merged index.
@@ -97,6 +100,7 @@ class AttemptOutcome:
         if self.merged_text is not None:
             data["merged_text"] = self.merged_text
             data["named_key"] = self.named_key
+            data["merged_digest"] = self.merged_digest
             data["param_map"] = {
                 str(which): {str(original): merged
                              for original, merged in mapping.items()}
@@ -123,6 +127,7 @@ class AttemptOutcome:
             codegen_seconds=float(data.get("codegen_seconds", 0.0)),
             merged_text=data.get("merged_text"),
             named_key=data.get("named_key"),
+            merged_digest=data.get("merged_digest"),
             param_map=param_map,
         )
 
@@ -135,11 +140,20 @@ class AttemptCache:
     :mod:`repro.merge` needs no import of this package.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
         self.entries: Dict[PairKey, AttemptOutcome] = {}
         #: content digest -> index artifacts (fingerprint / signature /
         #: probe_gaps) of functions created mid-run (committed merges).
         self.index_artifacts: Dict[str, Dict[str, object]] = {}
+        #: LRU cap on memoized pair outcomes (None = unbounded, the batch
+        #: default).  A long-lived service session sees an unbounded delta
+        #: stream — without a bound every pair ever considered stays
+        #: resident forever.  Eviction is purely a work-saver lost: an
+        #: evicted pair is simply re-scored on its next appearance.
+        self.max_entries = max_entries
+        #: Entries dropped over this cache's lifetime (LRU + ``compact``),
+        #: surfaced as ``repro_incremental_cache_evicted_total``.
+        self.evicted = 0
         self.begin_run()
 
     # ------------------------------------------------------------- lifecycle
@@ -150,11 +164,60 @@ class AttemptCache:
         self.merges_spliced = 0
         self.merges_recomputed = 0
 
+    # ------------------------------------------------------------ bounding
+    def _note_use(self, key: PairKey) -> None:
+        # Python dicts iterate in insertion order; re-inserting on every use
+        # keeps the front of ``entries`` the least-recently-used key.
+        entry = self.entries.pop(key)
+        self.entries[key] = entry
+
+    def _enforce_cap(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self.entries) > max(1, self.max_entries):
+            self.entries.pop(next(iter(self.entries)))
+            self.evicted += 1
+
+    def compact(self, live_digests) -> int:
+        """Drop every entry keyed off content no longer live; return count.
+
+        ``live_digests`` seeds the set of content digests a future replay
+        can look up directly (a session's current pristine functions — see
+        :meth:`~repro.incremental.state.PipelineState.live_digests`).
+        Liveness is then chased through merge chains: a committed entry
+        whose endpoints are both live makes its ``merged_digest`` live too,
+        since the replayed merged function re-enters the ranking loop.
+        Everything unreachable belongs to content no delta stream can
+        reference again, so dropping it cannot cost a single re-score.
+        """
+        live = set(live_digests)
+        changed = True
+        while changed:
+            changed = False
+            for (first, second), entry in self.entries.items():
+                if (entry.merged_digest is not None
+                        and entry.merged_digest not in live
+                        and first in live and second in live):
+                    live.add(entry.merged_digest)
+                    changed = True
+        dead_pairs = [key for key in self.entries
+                      if key[0] not in live or key[1] not in live]
+        for key in dead_pairs:
+            del self.entries[key]
+        dead_artifacts = [digest for digest in self.index_artifacts
+                          if digest not in live]
+        for digest in dead_artifacts:
+            del self.index_artifacts[digest]
+        self.evicted += len(dead_pairs) + len(dead_artifacts)
+        return len(dead_pairs) + len(dead_artifacts)
+
     # ------------------------------------------------------------ pass hooks
     def lookup(self, key: PairKey) -> Optional[AttemptOutcome]:
         entry = self.entries.get(key)
         if entry is not None:
             self.run_hits += 1
+            if self.max_entries is not None:
+                self._note_use(key)
         return entry
 
     def record(self, key: PairKey, decision, stats) -> AttemptOutcome:
@@ -172,6 +235,7 @@ class AttemptCache:
             codegen_seconds=stats.codegen_seconds,
         )
         self.entries[key] = entry
+        self._enforce_cap()
         return entry
 
     def record_failure(self, key: PairKey) -> AttemptOutcome:
@@ -179,6 +243,7 @@ class AttemptCache:
         self.run_misses += 1
         entry = AttemptOutcome(failed=True)
         self.entries[key] = entry
+        self._enforce_cap()
         return entry
 
     def note_commit(self, merged) -> None:
@@ -194,6 +259,7 @@ class AttemptCache:
         entry.merged_text = print_function(merged.function)
         entry.named_key = pair_named_key(merged.first, merged.second)
         entry.param_map = merged.param_map
+        entry.merged_digest = merged.function.content_digest()
 
     #: Exposed on the cache so the merge pass stays duck-typed (no import
     #: of this package from :mod:`repro.merge`).

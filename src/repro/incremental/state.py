@@ -214,6 +214,21 @@ class PipelineState:
             self._engine_setup = (None, None)
 
     # -------------------------------------------------------------- queries
+    def live_digests(self) -> Set[str]:
+        """Content digests a future replay can still look up directly.
+
+        The pristine functions' digests.  Feed this to
+        :meth:`AttemptCache.compact`, which itself expands the set through
+        committed merged functions (their digests are recorded on the cache
+        entries), then drops everything unreachable.
+        """
+        return {function.content_digest()
+                for function in self.functions.values()}
+
+    def compact_cache(self) -> int:
+        """Drop attempt-cache entries no future delta stream can reference."""
+        return self.cache.compact(self.live_digests())
+
     def clone_clusters(self) -> List[Set[str]]:
         """Connected components of the last report's committed merges."""
         if self.report is None:

@@ -70,6 +70,32 @@ def _strip_comment(line: str) -> str:
     return line if index < 0 else line[:index]
 
 
+def _split_leading_type(text: str) -> Tuple[Type, str]:
+    """Split ``<type> <rest>``, greedily matching the longest leading type.
+
+    Splitting at the first space silently truncates spellings that contain
+    spaces — ``i32 (i32)* %p`` is one function-pointer type plus a value, and
+    ``[4 x i32] %v`` one array type — so the longest whitespace-delimited
+    prefix that parses as a type wins.  Values never begin with ``(``, so a
+    first token that parses and a remainder not opening a parameter list is
+    the (overwhelmingly common) fast path.
+    """
+    text = text.strip()
+    head, _, tail = text.partition(" ")
+    if not tail.lstrip().startswith("("):
+        try:
+            return parse_type(head), tail.lstrip()
+        except ValueError:
+            pass
+    for match in reversed(list(re.finditer(r"\s+", text))):
+        prefix = text[:match.start()]
+        try:
+            return parse_type(prefix), text[match.end():]
+        except ValueError:
+            continue
+    raise ParseError("cannot split leading type", text)
+
+
 def parse_module(text: str, name: str = "module", into: Optional[Module] = None) -> Module:
     """Parse a whole module from textual IR.
 
@@ -483,21 +509,19 @@ class _FunctionBodyParser:
         raise ParseError(f"unknown opcode {opcode!r}", full)
 
     def _parse_binary(self, opcode: str, text: str) -> BinaryInst:
-        type_text, _, rest = text.partition(" ")
-        type_ = parse_type(type_text)
+        type_, rest = _split_leading_type(text)
         lhs_text, rhs_text = _split_top_level(rest)
         return BinaryInst(opcode, self._value(lhs_text, type_), self._value(rhs_text, type_))
 
     def _parse_cmp(self, text: str) -> CmpInst:
         predicate, _, rest = text.partition(" ")
-        type_text, _, rest = rest.strip().partition(" ")
-        type_ = parse_type(type_text)
+        type_, rest = _split_leading_type(rest)
         lhs_text, rhs_text = _split_top_level(rest)
         return CmpInst(predicate, self._value(lhs_text, type_), self._value(rhs_text, type_))
 
     def _parse_cast(self, opcode: str, text: str) -> CastInst:
         before, _, after = text.partition(" to ")
-        type_text, _, ref = before.strip().partition(" ")
+        type_text, _, ref = before.strip().rpartition(" ")
         return CastInst(opcode, self._value(ref, parse_type(type_text)), parse_type(after))
 
     def _parse_select(self, text: str) -> SelectInst:
@@ -554,8 +578,10 @@ class _FunctionBodyParser:
         return LandingPadInst(parse_type(type_text), cleanup)
 
     def _parse_phi(self, text: str) -> PhiInst:
-        type_text, _, rest = text.partition(" ")
-        type_ = parse_type(type_text)
+        # The type must be split off before scanning for ``[ value, %block ]``
+        # incomings: function-pointer spellings contain spaces, and an array
+        # type's own brackets must not be misread as an incoming pair.
+        type_, rest = _split_leading_type(text)
         phi = PhiInst(type_)
         for pair_text in re.findall(r"\[([^\]]*)\]", rest):
             value_text, block_text = _split_top_level(pair_text)

@@ -102,6 +102,11 @@ class MergePassOptions:
     #: Worker-pool backend when ``parallel_workers`` > 0: ``"process"`` (real
     #: parallelism) or ``"serial"`` (the in-process reference, for debugging).
     parallel_backend: str = "process"
+    #: Keep worker processes alive across pool dispatches (and across the
+    #: jobs of a long-lived engine): workers are spawned once and retain
+    #: their parsed-function caches — what the resident ``repro.service``
+    #: daemon runs on.  Purely a lifetime knob; reports are bit-identical.
+    parallel_persistent: bool = False
     #: Skip functions smaller than this many IR instructions.
     min_function_size: int = 3
     #: Allow merged functions to be merged again with further candidates.
@@ -184,7 +189,8 @@ class FunctionMergingPass:
             # Fail fast on unknown backend names too (raises ValueError).
             self.parallel_config = resolve_config(ParallelConfig(
                 backend=self.options.parallel_backend,
-                workers=self.options.parallel_workers))
+                workers=self.options.parallel_workers,
+                persistent=self.options.parallel_persistent))
 
     # ------------------------------------------------------------ interface
     def run(self, module: Module,

@@ -62,6 +62,7 @@ from .runs import (
     RunRecord,
     attach_run_ledger,
     record_pipeline_run,
+    report_digest_hex,
 )
 from .adapters import (
     attach_all,
@@ -112,6 +113,7 @@ __all__ = [
     "read_sink_events",
     "record_pipeline_run",
     "replay_records",
+    "report_digest_hex",
     "format_trace",
     "maybe_span",
     "merge_snapshot_into",

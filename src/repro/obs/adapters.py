@@ -207,6 +207,10 @@ def observe_incremental_stats(registry, stats) -> None:
             help="Committed cached merges by materialization path: spliced "
                  "from recorded text versus deterministically re-merged.",
             outcome=outcome).inc(count)
+    registry.counter(
+        "repro_incremental_cache_evicted_total",
+        help="Attempt-cache entries dropped by the LRU cap or compact()."
+        ).inc(getattr(stats, "cache_evicted", 0))
     registry.gauge(
         "repro_incremental_pair_reuse_ratio",
         help="Fraction of this delta's pair attempts served from the "

@@ -27,9 +27,11 @@ backend matrix and the determinism contract.
 from .engine import ParallelEngine, PrefetchedAnswer
 from .pool import (
     ParallelConfig,
+    PersistentProcessPool,
     ProcessPool,
     SerialPool,
     WorkerPool,
+    WorkerTaskError,
     available_backends,
     make_batches,
     make_pool,
@@ -50,10 +52,12 @@ __all__ = [
     "ParallelConfig",
     "ParallelEngine",
     "ParallelStats",
+    "PersistentProcessPool",
     "PrefetchedAnswer",
     "ProcessPool",
     "SerialPool",
     "WorkerPool",
+    "WorkerTaskError",
     "available_backends",
     "get_task",
     "make_batches",

@@ -109,6 +109,7 @@ class ParallelEngine:
         started = time.perf_counter()
         results = self.pool.run(task, shared, batches)
         self.stats.worker_seconds += time.perf_counter() - started
+        self.stats.pool_spawns = self.pool.spawns
         if self.metrics is not None:
             # Batch results arrive in batch order whatever the completion
             # order, so folding the shipped snapshots here is deterministic.

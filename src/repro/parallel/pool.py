@@ -47,6 +47,12 @@ class ParallelConfig:
     #: (cheapest, and tasks are pure so inherited state is harmless) and the
     #: platform default elsewhere.
     start_method: Optional[str] = None
+    #: Keep worker processes alive across ``run`` calls (and across jobs of
+    #: a resident service).  The default per-call teardown stays the
+    #: batch-script behaviour; persistent pools are what the long-lived
+    #: :mod:`repro.service` daemon runs on — workers are spawned exactly
+    #: once and retain their parsed-function caches between phases.
+    persistent: bool = False
 
     def resolved_workers(self) -> int:
         if self.workers > 0:
@@ -115,6 +121,12 @@ class WorkerPool(ABC):
     def __init__(self, config: ParallelConfig) -> None:
         self.config = config
         self.workers = config.resolved_workers()
+        #: Times a set of worker processes was (re)started.  Serial pools
+        #: never spawn; an ephemeral process pool spawns once per ``run``
+        #: call; a persistent pool spawns once per lifetime (plus once per
+        #: recovery after a worker crash) — the number the resident
+        #: service's spawned-exactly-once acceptance bar reads.
+        self.spawns = 0
 
     @abstractmethod
     def run(self, task_name: str, shared: Any, batches: Sequence[Any]) -> List[Any]:
@@ -122,7 +134,12 @@ class WorkerPool(ABC):
         in batch order.  ``shared`` is delivered to each worker exactly once."""
 
     def close(self) -> None:
-        """Release pool resources (idempotent)."""
+        """Release pool resources.
+
+        Idempotent and exception-safe: closing twice, or closing after a
+        worker crashed, must never raise — a service draining on the way
+        down cannot afford a shutdown path that throws.
+        """
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -186,11 +203,187 @@ class ProcessPool(WorkerPool):
             return []
         processes = max(1, min(self.workers, len(batches)))
         context = self._context()
+        self.spawns += 1
         with context.Pool(processes=processes,
                           initializer=_worker_initializer,
                           initargs=(task_name, shared)) as pool:
             return pool.map(_worker_run, batches, chunksize=1)
 
 
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a persistent worker (the worker itself survives)."""
+
+
+def _persistent_worker_loop(conn) -> None:
+    """One persistent worker: serve ``prepare``/``run`` messages until told
+    to stop (or the parent's end of the pipe goes away).
+
+    The worker owns its task context between ``prepare`` messages, so
+    everything a task memoizes — parsed functions, open read-only stores,
+    analysis scratch — survives from one job to the next.  A task exception
+    is reported back as an ``error`` message and the worker keeps serving;
+    only a torn pipe or an explicit ``stop`` ends the loop.
+    """
+    from .tasks import get_task
+
+    run = context = None
+    prepare_error: Optional[str] = None
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "prepare":
+                task = get_task(message[1])
+                run, context = task.run, task.prepare(message[2])
+                prepare_error = None
+            elif kind == "run":
+                if run is None:
+                    raise RuntimeError(prepare_error
+                                       or "no task prepared in this worker")
+                conn.send(("result", message[1], run(context, message[2])))
+        except (OSError, BrokenPipeError):
+            break
+        except BaseException as exc:  # noqa: BLE001 - report, stay alive
+            detail = f"{type(exc).__name__}: {exc}"
+            if kind == "prepare":
+                run = context = None
+                prepare_error = detail
+            else:
+                try:
+                    conn.send(("error", message[1], detail))
+                except (OSError, BrokenPipeError):
+                    break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class PersistentProcessPool(WorkerPool):
+    """A long-lived ``multiprocessing`` pool: workers spawned once, reused.
+
+    The ephemeral :class:`ProcessPool` tears its OS pool down after every
+    ``run`` call — the right hygiene for batch scripts, but a resident
+    service would re-pay process spawn and every worker-side cache on each
+    of a job's phases.  This pool keeps one set of worker processes alive
+    for its whole lifetime: ``run`` sends each active worker the task's
+    shared payload once, round-robins the batches over per-worker pipes,
+    and reassembles results in batch order.
+
+    Failure containment: a task exception inside a worker is re-raised
+    here as :class:`WorkerTaskError` while the workers stay up; a *dead*
+    worker (killed, crashed interpreter) tears the current generation down
+    and the next ``run`` respawns a fresh one (``spawns`` counts the
+    generations).  ``close`` is idempotent and never raises, whatever
+    state the workers are in.
+    """
+
+    name = "process"
+
+    def __init__(self, config: ParallelConfig) -> None:
+        super().__init__(config)
+        self._procs: List[Any] = []
+        self._pipes: List[Any] = []
+
+    def _context(self):
+        method = self.config.start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+                else None
+        return multiprocessing.get_context(method)
+
+    def _ensure_workers(self) -> None:
+        if self._procs and all(proc.is_alive() for proc in self._procs):
+            return
+        self.close()
+        context = self._context()
+        for _ in range(self.workers):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(target=_persistent_worker_loop,
+                                      args=(child_end,), daemon=True)
+            process.start()
+            child_end.close()
+            self._procs.append(process)
+            self._pipes.append(parent_end)
+        self.spawns += 1
+
+    def run(self, task_name: str, shared: Any, batches: Sequence[Any]) -> List[Any]:
+        batches = list(batches)
+        if not batches:
+            return []
+        self._ensure_workers()
+        active = max(1, min(self.workers, len(batches)))
+        assignments: List[List[Tuple[int, Any]]] = [[] for _ in range(active)]
+        for index, batch in enumerate(batches):
+            assignments[index % active].append((index, batch))
+        results: List[Any] = [None] * len(batches)
+        try:
+            for pipe in self._pipes[:active]:
+                pipe.send(("prepare", task_name, shared))
+            for pipe, assigned in zip(self._pipes, assignments):
+                for index, batch in assigned:
+                    pipe.send(("run", index, batch))
+            failure: Optional[str] = None
+            for pipe, assigned in zip(self._pipes, assignments):
+                for _ in assigned:
+                    kind, index, payload = pipe.recv()
+                    if kind == "error":
+                        # Keep draining this worker's remaining results so
+                        # the pipes stay message-aligned for the next run.
+                        failure = failure or payload
+                    else:
+                        results[index] = payload
+            if failure is not None:
+                raise WorkerTaskError(failure)
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            # A worker died mid-conversation: the pipes are no longer
+            # message-aligned, so retire this generation.  The next run
+            # respawns workers; callers see one failed task, not a
+            # permanently poisoned pool.
+            self.close()
+            raise WorkerTaskError(
+                f"persistent worker died mid-task: {exc!r}") from exc
+        return results
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (OSError, BrokenPipeError, ValueError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for process in self._procs:
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+        self._procs = []
+        self._pipes = []
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _make_process_pool(config: ParallelConfig) -> WorkerPool:
+    if config.persistent:
+        return PersistentProcessPool(config)
+    return ProcessPool(config)
+
+
 register_backend(SerialPool.name, SerialPool)
-register_backend(ProcessPool.name, ProcessPool)
+register_backend(ProcessPool.name, _make_process_pool)

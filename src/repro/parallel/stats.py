@@ -45,6 +45,11 @@ class ParallelStats:
     prefetched_used: int = 0
     #: Candidate pairs scored (alignment + profitability) by workers.
     pairs_scored: int = 0
+    #: Times the pool's worker processes were (re)spawned.  An ephemeral
+    #: process pool spawns once per dispatched phase; a persistent pool
+    #: (``ParallelConfig.persistent``) spawns once per lifetime — the
+    #: resident service's acceptance bar reads this.
+    pool_spawns: int = 0
     #: Wall-clock spent serializing/reconstructing and inside worker tasks.
     ship_seconds: float = 0.0
     worker_seconds: float = 0.0
@@ -65,6 +70,7 @@ class ParallelStats:
         self.queries_prefetched += other.queries_prefetched
         self.prefetched_used += other.prefetched_used
         self.pairs_scored += other.pairs_scored
+        self.pool_spawns = max(self.pool_spawns, other.pool_spawns)
         self.ship_seconds += other.ship_seconds
         self.worker_seconds += other.worker_seconds
         return self
@@ -91,6 +97,7 @@ class ParallelStats:
             "prefetched_used": self.prefetched_used,
             "prefetch_hit_rate": self.prefetch_hit_rate,
             "pairs_scored": self.pairs_scored,
+            "pool_spawns": self.pool_spawns,
             "ship_seconds": self.ship_seconds,
             "worker_seconds": self.worker_seconds,
         }

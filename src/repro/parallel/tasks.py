@@ -74,6 +74,35 @@ def get_task(name: str) -> Task:
                        f"{', '.join(sorted(_TASKS))}") from None
 
 
+#: Worker-process-wide parse memo: ``(name, text) -> Function``.  Tasks only
+#: ever *read* reconstructed functions, so a parse is valid for as long as
+#: the text is — which in a persistent worker (``ParallelConfig.persistent``)
+#: spans jobs: a resident service re-submitting a mostly-unchanged module
+#: re-parses only what changed.  Ephemeral workers die after one phase, where
+#: the memo degenerates to the old per-context cache.  Bounded FIFO so an
+#: unbounded job stream cannot grow a worker forever.
+_PARSE_MEMO: Dict[Tuple[str, str], Function] = {}
+_PARSE_MEMO_CAP = 8192
+
+
+def cached_parse(text: str, name: str) -> Tuple[Function, bool]:
+    """``parse_canonical_function`` through the process-wide memo.
+
+    Returns ``(function, parsed)`` where ``parsed`` is True when this call
+    actually parsed (a memo miss) — the parse counters tasks report stay
+    meaningful across persistent-worker jobs.
+    """
+    key = (name, text)
+    function = _PARSE_MEMO.get(key)
+    if function is not None:
+        return function, False
+    function = parse_canonical_function(text, name=name)
+    if len(_PARSE_MEMO) >= _PARSE_MEMO_CAP:
+        _PARSE_MEMO.pop(next(iter(_PARSE_MEMO)))
+    _PARSE_MEMO[key] = function
+    return function, True
+
+
 def _batch_registry(context: dict) -> Optional[MetricsRegistry]:
     """A fresh per-batch worker registry, or None when telemetry is off.
 
@@ -161,8 +190,8 @@ def _artifacts_run(context: dict, batch: List[Tuple[str, str]]) -> dict:
                     except (KeyError, TypeError, ValueError):
                         store.note_invalid_payload()
             if fingerprint is None:
-                function = parse_canonical_function(text, name=digest)
-                parsed += 1
+                function, was_parsed = cached_parse(text, digest)
+                parsed += was_parsed
                 fingerprint = Fingerprint.of(function)
             signature: Optional[List[int]] = None
             signature_loaded = False
@@ -178,8 +207,8 @@ def _artifacts_run(context: dict, batch: List[Tuple[str, str]]) -> dict:
                             store.note_invalid_payload()
                 if signature is None:
                     if function is None:
-                        function = parse_canonical_function(text, name=digest)
-                        parsed += 1
+                        function, was_parsed = cached_parse(text, digest)
+                        parsed += was_parsed
                     signature = list(compute_minhash_signature(
                         function, fingerprint, strategy, hash_params))
             artifacts[digest] = {
@@ -390,10 +419,12 @@ def _score_prepare(shared: dict) -> dict:
 
 def _score_resolve(context: dict, name: str) -> Function:
     # Lazy reconstruction: a worker only parses the functions its own
-    # batches actually score, never the whole shipped set.
+    # batches actually score, never the whole shipped set.  The parse goes
+    # through the process-wide memo, so a persistent worker scoring the
+    # same (unchanged) function across service jobs parses it once.
     function = context["cache"].get(name)
     if function is None:
-        function = parse_canonical_function(context["texts"][name], name=name)
+        function, _ = cached_parse(context["texts"][name], name)
         context["cache"][name] = function
     return function
 

@@ -1,0 +1,203 @@
+"""Open-loop load generation against a running merge service.
+
+The generator models the service's real arrival process, not a closed
+request loop: per session, job arrival times are drawn up front from a
+Poisson process (exponential inter-arrival gaps at ``--rate`` jobs/sec),
+and each job's **latency is measured from its scheduled arrival**, not
+from when the client got around to sending it.  A service that falls
+behind therefore shows queueing delay honestly — the open-loop property
+closed-loop benchmark harnesses famously miss.
+
+Each session thread owns one :class:`~repro.service.protocol.ServiceClient`
+and one synthetic module (:func:`~repro.harness.experiments.search_workload`
+sized by ``--functions``, seeded per session): job 0 submits the full
+module text (the cold bootstrap), every later job nudges one integer
+constant in one function (:func:`~repro.workloads.mutate.mutate_constant`)
+and submits just that function's text as a patch — the live-module editing
+pattern the incremental pipeline is built for.
+
+Every job appends one tidy record to ``--records`` (JSONL: session, job,
+scheduled/started/completed stamps, open-loop latency, service-side
+seconds, digest, run id, warm flag); the run ends with a summary dict
+(p50/p95 latency, jobs/sec, error count) printed as JSON.  Use
+``benchmarks/smoke_service.py`` for the CI wiring and
+``benchmarks/bench_service.py`` for the calibrated latency/parity bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..harness.experiments import search_workload
+from ..ir.printer import print_function, print_module
+from ..workloads.mutate import mutate_constant
+from .protocol import ServiceClient, ServiceError
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 on an empty series)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1,
+               max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _session_worker(host: str, port: int, session: str, jobs: int,
+                    functions: int, rate: float, seed: int,
+                    start_at: float, records: List[Dict[str, Any]],
+                    errors: List[str], lock: threading.Lock,
+                    options: Dict[str, Any]) -> None:
+    rng = random.Random(seed)
+    module = search_workload(functions, seed=seed % 1000 + 3)
+    # Draw the whole open-loop arrival schedule up front: arrivals are a
+    # property of the offered load, never of service completions.
+    gaps = [rng.expovariate(rate) if rate > 0 else 0.0 for _ in range(jobs)]
+    arrivals = []
+    clock = start_at
+    for gap in gaps:
+        clock += gap
+        arrivals.append(clock)
+    try:
+        client = ServiceClient(host, port, timeout=300.0)
+    except OSError as error:
+        with lock:
+            errors.append(f"{session}: connect failed: {error}")
+        return
+    with client:
+        for index, scheduled in enumerate(arrivals):
+            delay = scheduled - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if index == 0:
+                payload: Dict[str, Any] = {
+                    "module": print_module(module)}
+            else:
+                victims = [f for f in module.functions
+                           if not f.is_declaration()]
+                target = rng.choice(victims)
+                if not mutate_constant(target, rng):
+                    # No eligible site: resubmit unchanged (a no-op delta —
+                    # the cheapest warm job there is).
+                    pass
+                payload = {"functions": [print_function(target)]}
+            started = time.monotonic()
+            try:
+                response = client.submit(session, **payload, **options)
+            except (ServiceError, ConnectionError, OSError) as error:
+                with lock:
+                    errors.append(f"{session} job {index}: {error}")
+                return
+            completed = time.monotonic()
+            record = {
+                "session": session,
+                "job": index,
+                "scheduled": scheduled,
+                "started": started,
+                "completed": completed,
+                "latency_seconds": completed - scheduled,
+                "service_seconds": response.get("seconds"),
+                "warm": bool(response.get("warm")),
+                "digest": response.get("digest"),
+                "run_id": response.get("run_id"),
+                "attempts": response.get("attempts"),
+                "reduction_percent": response.get("reduction_percent"),
+            }
+            with lock:
+                records.append(record)
+
+
+def run_loadgen(host: str, port: int, *, sessions: int = 2,
+                jobs: int = 8, functions: int = 32, rate: float = 2.0,
+                seed: int = 7, records_path: Optional[str] = None,
+                options: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """Drive ``sessions`` concurrent open-loop streams; return the summary.
+
+    ``rate`` is per-session arrival intensity (jobs/second); ``options``
+    are extra submit fields (``technique`` etc.) shared by every session.
+    """
+    records: List[Dict[str, Any]] = []
+    errors: List[str] = []
+    lock = threading.Lock()
+    start_at = time.monotonic() + 0.05
+    threads = [
+        threading.Thread(
+            target=_session_worker,
+            args=(host, port, f"loadgen-{index}", jobs, functions, rate,
+                  seed + index, start_at, records, errors, lock,
+                  dict(options or {})),
+            name=f"loadgen-{index}", daemon=True)
+        for index in range(sessions)]
+    wall_started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.monotonic() - wall_started
+
+    records.sort(key=lambda r: (r["session"], r["job"]))
+    if records_path is not None:
+        with open(records_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    latencies = [r["latency_seconds"] for r in records]
+    warm = [r["latency_seconds"] for r in records if r["warm"]]
+    summary = {
+        "sessions": sessions,
+        "jobs_requested": sessions * jobs,
+        "jobs_completed": len(records),
+        "errors": len(errors),
+        "error_detail": errors[:5],
+        "wall_seconds": wall_seconds,
+        "jobs_per_second": len(records) / wall_seconds
+        if wall_seconds > 0 else 0.0,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p95_seconds": percentile(latencies, 0.95),
+        "warm_latency_p50_seconds": percentile(warm, 0.50),
+        "warm_latency_p95_seconds": percentile(warm, 0.95),
+    }
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Open-loop load generator for repro-serve "
+                    "(see docs/service.md).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--sessions", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="jobs per session (job 0 is the cold "
+                             "bootstrap)")
+    parser.add_argument("--functions", type=int, default=32,
+                        help="synthetic module size per session")
+    parser.add_argument("--rate", type=float, default=2.0,
+                        help="per-session Poisson arrival rate, jobs/sec "
+                             "(0: back-to-back)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--technique", default="salssa")
+    parser.add_argument("--records", default=None,
+                        help="JSONL path for per-job latency records")
+    args = parser.parse_args(argv)
+    summary = run_loadgen(
+        args.host, args.port, sessions=args.sessions, jobs=args.jobs,
+        functions=args.functions, rate=args.rate, seed=args.seed,
+        records_path=args.records,
+        options={"technique": args.technique})
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if not summary["errors"] \
+        and summary["jobs_completed"] == summary["jobs_requested"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

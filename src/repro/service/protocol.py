@@ -1,0 +1,230 @@
+"""The merge service's wire protocol: newline-delimited JSON envelopes.
+
+One request per line, one response per line, over a plain TCP stream — no
+framing library, no dependency beyond the stdlib.  Every message is a JSON
+object carrying ``"schema": PROTOCOL_SCHEMA``; the daemon rejects anything
+else *structurally* (a typed error response, never a hung or dropped
+connection) so old clients fail loudly when the protocol moves.
+
+Requests name an ``op`` (:data:`OPS`): ``ping``, ``submit`` (a module or a
+patch against a named session), ``sessions``, ``drain``, ``shutdown``.
+Responses echo the op and carry ``"ok": true`` plus op-specific fields, or
+``"ok": false`` with a machine-readable ``error`` code from
+:data:`ERROR_CODES` and a human-readable ``detail``.
+
+Error codes and their recovery contract:
+
+* ``bad_json`` / ``oversized`` — the *stream* can no longer be trusted
+  (a partial or runaway line); the daemon replies, then closes this
+  connection.  Other connections are unaffected.
+* ``schema_mismatch`` / ``bad_request`` / ``shutting_down`` — the message
+  was well-framed; the daemon replies and keeps reading from the same
+  connection.
+* ``internal`` — the job raised; the session survives, the daemon keeps
+  serving.
+
+:class:`ServiceClient` is the blocking reference client both the tests and
+:mod:`repro.service.loadgen` use.  See ``docs/service.md`` for the full
+message catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+#: Version of the request/response envelope; bump on incompatible change.
+#: A daemon only honours its own version — mismatches are structured
+#: ``schema_mismatch`` errors, never silent misparses.
+PROTOCOL_SCHEMA = 1
+
+#: Hard cap on one encoded message line (requests carry whole modules, so
+#: the default is generous; the daemon makes it configurable).
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+#: The request operations the daemon understands.
+OPS = ("ping", "submit", "sessions", "drain", "shutdown")
+
+#: Machine-readable error codes a response may carry.
+ERROR_CODES = ("bad_json", "schema_mismatch", "oversized", "bad_request",
+               "internal", "shutting_down")
+
+#: Codes after which the server abandons the connection (stream integrity
+#: is gone: the offending line may have been split or truncated).
+FATAL_CODES = ("bad_json", "oversized")
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized or version-incompatible message.
+
+    ``code`` is one of :data:`ERROR_CODES`; ``detail`` is for humans.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One envelope as a compact JSON line (the only wire encoding)."""
+    return json.dumps(message, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into an envelope dict.
+
+    Raises :class:`ProtocolError` (``bad_json`` on unparseable or
+    non-object payloads, ``schema_mismatch`` on any schema other than
+    :data:`PROTOCOL_SCHEMA`).
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ProtocolError("bad_json", f"unparseable message: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError("bad_json",
+                            f"message is {type(message).__name__}, "
+                            f"expected object")
+    if message.get("schema") != PROTOCOL_SCHEMA:
+        raise ProtocolError(
+            "schema_mismatch",
+            f"schema {message.get('schema')!r} unsupported "
+            f"(this daemon speaks {PROTOCOL_SCHEMA})")
+    return message
+
+
+def read_message(stream, max_bytes: int = MAX_MESSAGE_BYTES
+                 ) -> Optional[Dict[str, Any]]:
+    """Read and decode the next envelope from a file-like byte stream.
+
+    Returns ``None`` on a clean EOF (the peer closed between messages).
+    The size cap is enforced *while reading* — ``readline`` is bounded, so
+    a runaway line costs at most ``max_bytes + 1`` bytes of memory before
+    it is rejected as ``oversized``.
+    """
+    line = stream.readline(max_bytes + 1)
+    if not line:
+        return None
+    if len(line) > max_bytes:
+        raise ProtocolError("oversized",
+                            f"message exceeds {max_bytes} bytes")
+    if not line.endswith(b"\n"):
+        # EOF mid-line: the peer vanished partway through writing.
+        raise ProtocolError("bad_json", "connection closed mid-message")
+    return decode_message(line)
+
+
+def request(op: str, **fields: Any) -> Dict[str, Any]:
+    """A request envelope for ``op`` (the client-side constructor)."""
+    message = {"schema": PROTOCOL_SCHEMA, "op": op}
+    message.update(fields)
+    return message
+
+
+def ok_response(op: str, **fields: Any) -> Dict[str, Any]:
+    """A success envelope echoing ``op``."""
+    message = {"schema": PROTOCOL_SCHEMA, "op": op, "ok": True}
+    message.update(fields)
+    return message
+
+
+def error_response(code: str, detail: str,
+                   op: Optional[str] = None) -> Dict[str, Any]:
+    """A failure envelope carrying a typed ``error`` code."""
+    message: Dict[str, Any] = {"schema": PROTOCOL_SCHEMA, "ok": False,
+                               "error": code, "detail": detail}
+    if op is not None:
+        message["op"] = op
+    return message
+
+
+class ServiceError(RuntimeError):
+    """An ``ok: false`` response, surfaced client-side.
+
+    ``code`` / ``detail`` mirror the response's ``error`` / ``detail``.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServiceClient:
+    """A blocking NDJSON client over one TCP connection.
+
+    The reference implementation the tests and the load generator share;
+    one instance is **not** thread-safe (one connection, one in-flight
+    request) — give each loadgen worker its own client.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 60.0,
+                 max_bytes: int = MAX_MESSAGE_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.stream = self.sock.makefile("rwb")
+
+    # ------------------------------------------------------------ transport
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request, return the raw response envelope.
+
+        Raises :class:`ServiceError` on ``ok: false`` responses and
+        :class:`ConnectionError` when the daemon hangs up without replying.
+        """
+        self.stream.write(encode_message(request(op, **fields)))
+        self.stream.flush()
+        response = read_message(self.stream, self.max_bytes)
+        if response is None:
+            raise ConnectionError("service closed the connection")
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "internal")),
+                               str(response.get("detail", "")))
+        return response
+
+    def close(self) -> None:
+        try:
+            self.stream.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- operations
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def submit(self, session: str, *, module: Optional[str] = None,
+               functions: Optional[list] = None,
+               remove: Optional[list] = None,
+               **options: Any) -> Dict[str, Any]:
+        """Submit a full module text or a patch against ``session``."""
+        fields: Dict[str, Any] = {"session": session}
+        if module is not None:
+            fields["module"] = module
+        if functions is not None:
+            fields["functions"] = functions
+        if remove is not None:
+            fields["remove"] = remove
+        fields.update(options)
+        return self.call("submit", **fields)
+
+    def sessions(self) -> Dict[str, Any]:
+        return self.call("sessions")
+
+    def drain(self) -> Dict[str, Any]:
+        return self.call("drain")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.call("shutdown")

@@ -163,6 +163,56 @@ class TestRoundTrip:
         assert len(reparsed.blocks) == len(original.blocks)
         assert [b.name for b in reparsed.blocks] == [b.name for b in original.blocks]
 
+    def test_function_pointer_types_survive_the_round_trip(self):
+        # Spellings with spaces inside the type ("i32 (i32)*") must not be
+        # truncated at the first space: SalSSA's operand selection emits
+        # phi/select/icmp over function pointers, and a lossy reparse (the
+        # splice and worker-rebuild paths) silently changes merge outcomes.
+        source = """
+        declare i32 @ext0(i32 %arg0)
+        declare i32 @ext4(i32 %arg0)
+
+        define i32 @fnptr(i1 %c, i32 %x) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          %opsel = select i1 %c, i32 (i32)* @ext0, i32 (i32)* @ext4
+          br label %b
+        b:
+          %p = phi i32 (i32)* [ undef, %entry ], [ %opsel, %a ]
+          %sel2 = select i1 %c, i32 (i32)* %p, i32 (i32)* @ext4
+          %same = icmp eq i32 (i32)* %p, @ext0
+          %r = call i32 %sel2(i32 %x)
+          ret i32 %r
+        }
+        """
+        text = print_module(parse_module(source))
+        for token in ("phi i32 (i32)* [ undef",
+                      "select i1 %c, i32 (i32)* %p",
+                      "icmp eq i32 (i32)* %p"):
+            assert token in text
+        assert print_module(parse_module(text)) == text
+
+    def test_array_typed_phi_round_trips(self):
+        # An array type's own brackets must not be misread as incoming pairs.
+        source = """
+        define [2 x i32] @arr(i1 %c, [2 x i32] %v, [2 x i32] %w) {
+        entry:
+          br i1 %c, label %a, label %b
+        a:
+          br label %b
+        b:
+          %p = phi [2 x i32] [ %v, %entry ], [ %w, %a ]
+          ret [2 x i32] %p
+        }
+        """
+        module = parse_module(source)
+        phi = next(i for i in module.get_function("arr").instructions()
+                   if type(i).__name__ == "PhiInst")
+        assert len(phi.incoming_blocks()) == 2
+        text = print_module(module)
+        assert print_module(parse_module(text)) == text
+
 
 class TestCanonicalRoundTrip:
     """``parse_canonical_function`` inverts ``canonical_function_text``.

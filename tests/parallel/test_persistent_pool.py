@@ -1,0 +1,142 @@
+"""The persistent worker pool: one spawn per lifetime, safe teardown.
+
+The resident service's perf contract rests on two properties tested here:
+results from a :class:`PersistentProcessPool` are bit-identical to the
+ephemeral backends at any worker count, and the workers are spawned exactly
+once across an arbitrary number of ``run`` calls.  The teardown contract —
+``close()`` idempotent and exception-safe, even after a worker crashed —
+is what lets the daemon shut down (or recover) without ever raising out of
+a cleanup path.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.harness.experiments import search_workload
+from repro.parallel import (
+    ParallelConfig,
+    PersistentProcessPool,
+    ProcessPool,
+    SerialPool,
+    WorkerTaskError,
+    make_batches,
+    make_pool,
+    ship_function,
+)
+
+
+def _score_items(num_functions=12):
+    """(shared, items) for the ``score_pairs`` task over a synthetic module."""
+    module = search_workload(num_functions, seed=11)
+    functions = [f for f in module.functions if not f.is_declaration()]
+    texts = {}
+    for function in functions:
+        name, _digest, text = ship_function(function)
+        texts[name] = text
+    shared = {"functions": texts, "target": "x86_64", "thunk_overhead": 3,
+              "minimum_benefit": 0, "include_phis": True}
+    names = sorted(texts)
+    items = [(names[i], names[j])
+             for i in range(len(names)) for j in range(i + 1, len(names))]
+    return shared, items
+
+
+def _run(pool, shared, items, batches=4):
+    return pool.run("score_pairs", shared, make_batches(items, batches))
+
+
+class TestPersistentPool:
+    def test_registered_behind_persistent_flag(self):
+        config = ParallelConfig(backend="process", workers=2,
+                                persistent=True)
+        pool = make_pool(config)
+        try:
+            assert isinstance(pool, PersistentProcessPool)
+        finally:
+            pool.close()
+        ephemeral = make_pool(ParallelConfig(backend="process", workers=2))
+        assert isinstance(ephemeral, ProcessPool)
+        assert not isinstance(ephemeral, PersistentProcessPool)
+
+    def test_results_match_serial_and_spawn_once(self):
+        shared, items = _score_items()
+        serial = _run(SerialPool(ParallelConfig(workers=0)), shared, items)
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        try:
+            first = _run(pool, shared, items)
+            second = _run(pool, shared, items)
+            third = _run(pool, shared, items, batches=3)
+        finally:
+            pool.close()
+        assert first == serial
+        assert second == serial
+        # Batches are contiguous, so flattening restores item order
+        # whatever the batch count.
+        assert [r for b in third for r in b] \
+            == [r for b in serial for r in b]
+        assert pool.spawns == 1
+
+    def test_close_is_idempotent(self):
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        shared, items = _score_items(8)
+        _run(pool, shared, items)
+        pool.close()
+        pool.close()  # second close must be a no-op, not an error
+        assert pool._procs == []
+
+    def test_close_before_any_run(self):
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        pool.close()
+        assert pool.spawns == 0
+
+    def test_task_error_is_contained_and_workers_survive(self):
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        shared, items = _score_items(8)
+        try:
+            _run(pool, shared, items)
+            with pytest.raises(WorkerTaskError):
+                pool.run("score_pairs", {"texts": {}}, [items[:2]])
+            # The workers caught the task exception without dying: the next
+            # run reuses the same generation.
+            after = _run(pool, shared, items)
+            serial = _run(SerialPool(ParallelConfig(workers=0)),
+                          shared, items)
+            assert after == serial
+            assert pool.spawns == 1
+        finally:
+            pool.close()
+
+    def test_close_after_worker_crash(self):
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        shared, items = _score_items(8)
+        _run(pool, shared, items)
+        os.kill(pool._procs[0].pid, signal.SIGKILL)
+        pool._procs[0].join(timeout=5.0)
+        pool.close()  # must swallow the dead pipe, not raise
+        pool.close()
+        assert pool._procs == []
+
+    def test_run_after_crash_respawns_generation(self):
+        pool = PersistentProcessPool(ParallelConfig(backend="process", workers=2,
+                                                    persistent=True))
+        shared, items = _score_items(8)
+        try:
+            serial = _run(SerialPool(ParallelConfig(workers=0)),
+                          shared, items)
+            _run(pool, shared, items)
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            pool._procs[0].join(timeout=5.0)
+            # The next run notices the dead worker, respawns a fresh
+            # generation, and recovers without surfacing an error.
+            recovered = _run(pool, shared, items)
+            assert recovered == serial
+            assert pool.spawns == 2
+        finally:
+            pool.close()

@@ -1,0 +1,159 @@
+"""Wire-protocol robustness: a hostile or clumsy client never takes the
+daemon down, and every rejection is a structured, typed error response.
+"""
+
+import io
+import json
+import socket
+
+import pytest
+
+from repro.service import MergeService, ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    read_message,
+    request,
+)
+
+
+@pytest.fixture(scope="module")
+def service():
+    with MergeService() as svc:
+        yield svc
+
+
+def _raw_exchange(service, payload: bytes, max_replies: int = 1):
+    """Send raw bytes, return the parsed reply lines (possibly fewer than
+    ``max_replies`` if the daemon hung up)."""
+    with socket.create_connection((service.host, service.port),
+                                  timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        stream = sock.makefile("rb")
+        replies = []
+        for _ in range(max_replies):
+            line = stream.readline()
+            if not line:
+                break
+            replies.append(json.loads(line))
+        return replies
+
+
+class TestEnvelopes:
+    def test_roundtrip(self):
+        message = request("ping", extra=1)
+        assert decode_message(encode_message(message).rstrip(b"\n")) \
+            == message
+
+    def test_ok_and_error_shapes(self):
+        ok = ok_response("submit", digest="abc")
+        assert ok["ok"] and ok["schema"] == PROTOCOL_SCHEMA
+        err = error_response("bad_request", "nope", "submit")
+        assert not err["ok"]
+        assert err["error"] == "bad_request" and err["op"] == "submit"
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError) as caught:
+            decode_message(b"{not json")
+        assert caught.value.code == "bad_json"
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError) as caught:
+            decode_message(b"[1,2,3]")
+        assert caught.value.code == "bad_json"
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(ProtocolError) as caught:
+            decode_message(b'{"schema": 99, "op": "ping"}')
+        assert caught.value.code == "schema_mismatch"
+
+    def test_read_message_caps_line_size(self):
+        stream = io.BytesIO(b"x" * 100 + b"\n")
+        with pytest.raises(ProtocolError) as caught:
+            read_message(stream, max_bytes=50)
+        assert caught.value.code == "oversized"
+
+    def test_read_message_eof_mid_line(self):
+        stream = io.BytesIO(b'{"schema": 1, "op": "pi')  # no newline
+        with pytest.raises(ProtocolError) as caught:
+            read_message(stream)
+        assert caught.value.code == "bad_json"
+
+    def test_read_message_clean_eof(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+
+class TestDaemonRejections:
+    def test_malformed_json_gets_structured_error(self, service):
+        replies = _raw_exchange(service, b"this is not json\n")
+        assert replies and replies[0]["ok"] is False
+        assert replies[0]["error"] == "bad_json"
+
+    def test_unknown_schema_version(self, service):
+        line = json.dumps({"schema": 42, "op": "ping"}).encode() + b"\n"
+        replies = _raw_exchange(service, line)
+        assert replies[0]["error"] == "schema_mismatch"
+
+    def test_oversized_request(self):
+        with MergeService(max_request_bytes=1024) as small:
+            line = json.dumps({"schema": 1, "op": "submit",
+                               "session": "s",
+                               "module": "x" * 4096}).encode() + b"\n"
+            replies = _raw_exchange(small, line)
+            assert replies[0]["error"] == "oversized"
+            # The daemon is still alive and serving fresh connections.
+            with ServiceClient(small.host, small.port) as client:
+                assert client.ping()["ok"]
+
+    def test_mid_request_disconnect_keeps_serving(self, service):
+        sock = socket.create_connection((service.host, service.port),
+                                        timeout=10.0)
+        sock.sendall(b'{"schema": 1, "op": "pi')  # partial line ...
+        sock.close()                              # ... then vanish
+        with ServiceClient(service.host, service.port) as client:
+            assert client.ping()["ok"]
+
+    def test_unknown_op(self, service):
+        with ServiceClient(service.host, service.port) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.call("frobnicate")
+            assert caught.value.code == "bad_request"
+            # Well-framed rejections keep the connection usable.
+            assert client.ping()["ok"]
+
+    def test_submit_without_session(self, service):
+        with ServiceClient(service.host, service.port) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.call("submit")
+            assert caught.value.code == "bad_request"
+
+    def test_unknown_session_without_module(self, service):
+        with ServiceClient(service.host, service.port) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.submit("never-created", functions=["define..."])
+            assert caught.value.code == "bad_request"
+
+    def test_unparseable_module_is_bad_request(self, service):
+        with ServiceClient(service.host, service.port) as client:
+            with pytest.raises(ServiceError) as caught:
+                client.submit("parsefail", module="definitely not IR")
+            assert caught.value.code == "bad_request"
+            assert client.ping()["ok"]  # the job error never wedged it
+
+    def test_errors_keep_other_sessions_alive(self, service):
+        from repro.harness.experiments import search_workload
+        from repro.ir.printer import print_module
+
+        module_text = print_module(search_workload(8, seed=2))
+        with ServiceClient(service.host, service.port) as client:
+            first = client.submit("robust", module=module_text)
+            assert first["ok"] and first["digest"]
+            with pytest.raises(ServiceError):
+                client.submit("robust", functions=["garbage text"])
+            again = client.submit("robust", module=module_text)
+            assert again["digest"] == first["digest"]
